@@ -1,0 +1,246 @@
+(* bench/main.exe — regenerates every table and figure of the paper and
+   micro-benchmarks the simulator substrate.
+
+     dune exec bench/main.exe              full run (everything)
+     dune exec bench/main.exe -- fig45     one experiment table
+     dune exec bench/main.exe -- micro     only the bechamel benchmarks
+
+   Sections:
+     1. paper reproduction — one paper-vs-measured table per figure/table
+        of the evaluation (FIG2..FIG9, TAB-CONJ, TAB-UTIL, TAB-DELACK,
+        TAB-MHOP, TAB-ABL)
+     2. figure gallery — ASCII renderings of the queue/cwnd series the
+        paper plots
+     3. micro — bechamel measurements of the substrate  *)
+
+let banner title =
+  let line = String.make 74 '=' in
+  Printf.printf "\n%s\n== %s\n%s\n" line title line
+
+(* ------------------------------------------------------------------ *)
+(* 1. Paper reproduction                                               *)
+(* ------------------------------------------------------------------ *)
+
+
+let run_experiments names =
+  banner "PAPER REPRODUCTION: tables and figures, paper vs. measured";
+  let selected : (?speed:Core.Experiments.speed -> unit -> Core.Report.outcome) list
+      =
+    match names with
+    | [] -> List.map snd Core.Experiments.registry
+    | names ->
+      List.map
+        (fun n ->
+          match Core.Experiments.find n with
+          | Some f -> f
+          | None -> failwith ("unknown experiment: " ^ n))
+        names
+  in
+  let outcomes =
+    List.map
+      (fun (f : ?speed:Core.Experiments.speed -> unit -> Core.Report.outcome) ->
+        f ~speed:Core.Experiments.Full ())
+      selected
+  in
+  List.iter Core.Report.print outcomes;
+  print_endline "summary:";
+  List.iter (fun o -> print_endline ("  " ^ Core.Report.summary_line o)) outcomes;
+  outcomes
+
+(* ------------------------------------------------------------------ *)
+(* 2. Figure gallery                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let plot_run title (r : Core.Runner.result) ~span =
+  Printf.printf "\n--- %s ---\n" title;
+  let t1 = r.t1 in
+  let t0 = Float.max r.t0 (t1 -. span) in
+  Printf.printf "queue at switch 1 (packets), [%.0f, %.0f] s:\n" t0 t1;
+  print_string
+    (Core.Ascii_plot.render ~width:96 ~height:13
+       (Trace.Queue_trace.series r.q1) ~t0 ~t1);
+  Printf.printf "queue at switch 2 (packets):\n";
+  print_string
+    (Core.Ascii_plot.render ~width:96 ~height:13
+       (Trace.Queue_trace.series r.q2) ~t0 ~t1);
+  if Array.length r.cwnds >= 2 then begin
+    Printf.printf "congestion windows over the full window:\n";
+    print_string
+      (Core.Ascii_plot.render_pair ~width:96 ~height:13
+         ~labels:("cwnd-1", "cwnd-2")
+         (Trace.Cwnd_trace.cwnd r.cwnds.(0))
+         (Trace.Cwnd_trace.cwnd r.cwnds.(1))
+         ~t0:r.t0 ~t1:r.t1)
+  end
+  else if Array.length r.cwnds = 1 then begin
+    Printf.printf "congestion window over the full window:\n";
+    print_string
+      (Core.Ascii_plot.render ~width:96 ~height:13
+         (Trace.Cwnd_trace.cwnd r.cwnds.(0))
+         ~t0:r.t0 ~t1:r.t1)
+  end
+
+let run_gallery () =
+  banner "FIGURE GALLERY: the series the paper plots";
+  let speed = Core.Experiments.Full in
+  plot_run "Figure 2: one-way, 3 connections, tau=1s"
+    (Core.Runner.run (Core.Experiments.scenario_fig2 speed))
+    ~span:120.;
+  plot_run "Figure 3: two-way, 5+5 connections, tau=0.01s"
+    (Core.Runner.run (Core.Experiments.scenario_fig3 speed))
+    ~span:30.;
+  plot_run "Figures 4-5: two-way, 1+1, tau=0.01s (out-of-phase)"
+    (Core.Runner.run (Core.Experiments.scenario_fig45 speed))
+    ~span:30.;
+  plot_run "Figures 6-7: two-way, 1+1, tau=1s (in-phase)"
+    (Core.Runner.run (Core.Experiments.scenario_fig67 speed))
+    ~span:120.;
+  plot_run "Figure 8: fixed windows 30/25, tau=0.01s"
+    (Core.Runner.run (Core.Experiments.scenario_fixed ~tau:0.01 ~w1:30 ~w2:25 speed))
+    ~span:20.;
+  plot_run "Figure 9: fixed windows 30/25, tau=1s"
+    (Core.Runner.run (Core.Experiments.scenario_fixed ~tau:1.0 ~w1:30 ~w2:25 speed))
+    ~span:20.
+
+(* ------------------------------------------------------------------ *)
+(* 3. Micro-benchmarks (bechamel)                                      *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let bench_event_queue =
+  Test.make ~name:"event_queue: add+pop 1k"
+    (Staged.stage (fun () ->
+         let q = Engine.Event_queue.create () in
+         for i = 0 to 999 do
+           Engine.Event_queue.add q ~time:(float_of_int ((i * 7919) mod 1000)) i
+         done;
+         while not (Engine.Event_queue.is_empty q) do
+           ignore (Engine.Event_queue.pop q : (float * int) option)
+         done))
+
+let bench_sim_cascade =
+  Test.make ~name:"sim: 1k chained events"
+    (Staged.stage (fun () ->
+         let sim = Engine.Sim.create () in
+         let rec tick n () =
+           if n > 0 then
+             ignore (Engine.Sim.schedule sim ~delay:0.001 (tick (n - 1))
+                 : Engine.Sim.handle)
+         in
+         ignore (Engine.Sim.schedule sim ~delay:0.001 (tick 999)
+             : Engine.Sim.handle);
+         Engine.Sim.run_to_completion sim))
+
+let bench_cong =
+  Test.make ~name:"tahoe window: 1k acks"
+    (Staged.stage (fun () ->
+         let c =
+           Tcp.Cong.create
+             ~algorithm:(Tcp.Cong.Tahoe { modified_ca = true })
+             ~maxwnd:1000
+         in
+         for i = 1 to 1000 do
+           if i mod 97 = 0 then Tcp.Cong.on_timeout c else Tcp.Cong.on_ack c
+         done))
+
+let bench_rto =
+  Test.make ~name:"rto estimator: 1k samples"
+    (Staged.stage (fun () ->
+         let r = Tcp.Rto.create Tcp.Rto.default_params in
+         for i = 1 to 1000 do
+           Tcp.Rto.sample r (0.1 +. (0.001 *. float_of_int (i mod 50)))
+         done))
+
+let bench_end_to_end =
+  Test.make ~name:"simulate 10s of fig-4 scenario"
+    (Staged.stage (fun () ->
+         let scenario =
+           Core.Scenario.make ~name:"bench" ~tau:0.01 ~buffer:(Some 20)
+             ~conns:
+               [
+                 Core.Scenario.conn Core.Scenario.Forward;
+                 Core.Scenario.conn ~start_time:1. Core.Scenario.Reverse;
+               ]
+             ~duration:10. ~warmup:1. ()
+         in
+         ignore (Core.Runner.run scenario : Core.Runner.result)))
+
+let bench_series =
+  Test.make ~name:"series: resample 10k samples"
+    (Staged.stage
+       (let s = Trace.Series.create () in
+        for i = 0 to 9_999 do
+          Trace.Series.add s ~time:(float_of_int i)
+            ~value:(float_of_int (i mod 23))
+        done;
+        fun () ->
+          ignore (Trace.Series.resample s ~t0:0. ~t1:10_000. ~dt:1. : float array)))
+
+let run_micro () =
+  banner "MICRO-BENCHMARKS (bechamel): simulator substrate";
+  let tests =
+    [
+      bench_event_queue;
+      bench_sim_cascade;
+      bench_cong;
+      bench_rto;
+      bench_end_to_end;
+      bench_series;
+    ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  Printf.printf "%-36s %14s\n" "benchmark" "time/run";
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let results = Analyze.all ols Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (t :: _) ->
+            let pretty =
+              if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+              else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
+              else Printf.sprintf "%.0f ns" t
+            in
+            Printf.printf "%-36s %14s\n" name pretty
+          | _ -> Printf.printf "%-36s %14s\n" name "n/a")
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let t0 = Sys.time () in
+  let exit_code =
+    match args with
+    | [ "micro" ] ->
+      run_micro ();
+      0
+    | [ "gallery" ] ->
+      run_gallery ();
+      0
+    | [] ->
+      let outcomes = run_experiments [] in
+      run_gallery ();
+      run_micro ();
+      banner "DONE";
+      let all_pass = List.for_all Core.Report.all_passed outcomes in
+      Printf.printf "paper reproduction: %s\n"
+        (if all_pass then "ALL CHECKS PASSED" else "SOME CHECKS FAILED");
+      if all_pass then 0 else 1
+    | names ->
+      let outcomes = run_experiments names in
+      if List.for_all Core.Report.all_passed outcomes then 0 else 1
+  in
+  Printf.printf "total cpu time: %.1fs\n" (Sys.time () -. t0);
+  exit exit_code

@@ -1,0 +1,359 @@
+(* netsim — command-line driver for the two-way-traffic dynamics study.
+
+   Subcommands:
+     experiment  run one (or all) of the paper's experiments and print
+                 paper-vs-measured tables
+     run         simulate a custom dumbbell scenario and print a summary
+     plot        ASCII queue/cwnd plots of a paper figure
+     dump        write every figure's traces as CSV files               *)
+
+open Cmdliner
+
+let speed_of_quick quick =
+  if quick then Core.Experiments.Quick else Core.Experiments.Full
+
+let quick_flag =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Shorter simulated horizon.")
+
+(* ---------------- experiment ---------------- *)
+
+let experiment_names = "all" :: List.map fst Core.Experiments.registry
+
+let run_experiment name quick json =
+  let speed = speed_of_quick quick in
+  let outcomes =
+    if name = "all" then Core.Experiments.all ~speed ()
+    else
+      match Core.Experiments.find name with
+      | Some f -> [ f ~speed () ]
+      | None ->
+        prerr_endline
+          ("unknown experiment " ^ name ^ "; expected one of: "
+          ^ String.concat ", " experiment_names);
+        exit 2
+  in
+  if json then print_endline (Core.Report.list_to_json outcomes)
+  else begin
+    List.iter Core.Report.print outcomes;
+    List.iter (fun o -> print_endline (Core.Report.summary_line o)) outcomes
+  end;
+  if List.for_all Core.Report.all_passed outcomes then 0 else 1
+
+let experiment_cmd =
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 string "all"
+      & info [] ~docv:"NAME"
+          ~doc:
+            ("Experiment to run: "
+            ^ String.concat ", " experiment_names
+            ^ "."))
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit results as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Reproduce the paper's tables and figures.")
+    Term.(const run_experiment $ name_arg $ quick_flag $ json)
+
+(* ---------------- run ---------------- *)
+
+let run_custom tau buffer fwd rev fixed delack ack_size algorithm pacing
+    gateway flow_size skew duration warmup csv_dir =
+  if fwd + rev = 0 && fixed = None then begin
+    prerr_endline "nothing to simulate: need --fwd, --rev or --fixed";
+    exit 2
+  end;
+  let algorithm =
+    match algorithm with
+    | "tahoe" -> Tcp.Cong.Tahoe { modified_ca = true }
+    | "tahoe-original" -> Tcp.Cong.Tahoe { modified_ca = false }
+    | "reno" -> Tcp.Cong.Reno { modified_ca = true }
+    | other ->
+      prerr_endline ("unknown algorithm " ^ other ^ " (tahoe|tahoe-original|reno)");
+      exit 2
+  in
+  let gateway =
+    match gateway with
+    | "fifo" -> Net.Discipline.Fifo
+    | "random-drop" -> Net.Discipline.Random_drop { seed = 11 }
+    | "fair-queue" -> Net.Discipline.Fair_queue
+    | other ->
+      prerr_endline
+        ("unknown gateway " ^ other ^ " (fifo|random-drop|fair-queue)");
+      exit 2
+  in
+  let conns =
+    match fixed with
+    | Some (w1, w2) ->
+      [
+        Core.Scenario.fixed_conn ~window:w1 ~ack_size ~start_time:0.37
+          Core.Scenario.Forward;
+        Core.Scenario.fixed_conn ~window:w2 ~ack_size ~start_time:1.91
+          Core.Scenario.Reverse;
+      ]
+    | None ->
+      Core.Scenario.stagger ~step:1.0
+        (List.init fwd (fun i ->
+             Core.Scenario.conn ~algorithm ~pacing ~delayed_ack:delack ~ack_size
+               ~rtt_skew:(if i = 0 then 0. else skew)
+               ~flow_size Core.Scenario.Forward)
+        @ List.init rev (fun _ ->
+              Core.Scenario.conn ~algorithm ~pacing ~delayed_ack:delack
+                ~ack_size ~flow_size Core.Scenario.Reverse))
+  in
+  let buffer = if buffer <= 0 then None else Some buffer in
+  let scenario =
+    Core.Scenario.make ~name:"custom" ~tau ~buffer ~gateway ~conns ~duration
+      ~warmup ()
+  in
+  let r = Core.Runner.run scenario in
+  Printf.printf "scenario: tau=%gs buffer=%s pipe=%.3g pkts\n" tau
+    (match buffer with Some b -> string_of_int b | None -> "infinite")
+    (Core.Scenario.pipe scenario);
+  Printf.printf "measurement window: [%.0f, %.0f) s\n" r.t0 r.t1;
+  Printf.printf "bottleneck utilization: fwd %.1f%%  bwd %.1f%%\n"
+    (100. *. r.util_fwd) (100. *. r.util_bwd);
+  Array.iteri
+    (fun i (spec, c) ->
+      let sender = Tcp.Connection.sender c in
+      Printf.printf
+        "conn %d (%s): goodput %.2f pkt/s, cwnd %.1f, ssthresh %.1f, \
+         rexmt %d, timeouts %d, fast-rexmt %d\n"
+        (i + 1)
+        (match spec.Core.Scenario.dir with
+         | Core.Scenario.Forward -> "fwd"
+         | Core.Scenario.Reverse -> "rev")
+        (Core.Runner.goodput r i)
+        (Tcp.Connection.cwnd c)
+        (Tcp.Connection.ssthresh c)
+        (Tcp.Sender.retransmits sender)
+        (Tcp.Sender.timeouts sender)
+        (Tcp.Sender.fast_retransmits sender))
+    r.conns;
+  Array.iteri
+    (fun i (_spec, c) ->
+      match Tcp.Sender.completed_at (Tcp.Connection.sender c) with
+      | Some t -> Printf.printf "conn %d completed its flow at t=%.2fs\n" (i + 1) t
+      | None -> ())
+    r.conns;
+  let drops = Core.Runner.drops_in_window r in
+  Printf.printf "drops in window: %d\n" (List.length drops);
+  let epochs = Core.Runner.epochs r in
+  (match Analysis.Epochs.mean_drops epochs with
+   | Some m ->
+     Printf.printf "congestion epochs: %d (mean %.2f drops each)\n"
+       (List.length epochs) m
+   | None -> print_endline "congestion epochs: none");
+  let qphase, qcorr = Core.Runner.queue_phase r in
+  Printf.printf "queue synchronization: %s (r=%.2f)\n"
+    (Analysis.Sync.phase_to_string qphase)
+    qcorr;
+  (match csv_dir with
+   | None -> ()
+   | Some dir ->
+     let files = Core.Export.run_csv ~dir ~prefix:"custom" r in
+     Printf.printf "wrote %d CSV files under %s\n" (List.length files) dir);
+  0
+
+let fixed_conv =
+  let parse s =
+    match String.split_on_char ',' s with
+    | [ a; b ] ->
+      (try Ok (int_of_string (String.trim a), int_of_string (String.trim b))
+       with _ -> Error (`Msg "expected W1,W2"))
+    | _ -> Error (`Msg "expected W1,W2")
+  in
+  let print ppf (a, b) = Format.fprintf ppf "%d,%d" a b in
+  Arg.conv (parse, print)
+
+let run_cmd =
+  let tau =
+    Arg.(
+      value & opt float 0.01
+      & info [ "tau" ] ~docv:"SECONDS" ~doc:"Bottleneck propagation delay.")
+  in
+  let buffer =
+    Arg.(
+      value & opt int 20
+      & info [ "buffer" ] ~docv:"PKTS"
+          ~doc:"Bottleneck buffer; 0 means infinite.")
+  in
+  let fwd =
+    Arg.(
+      value & opt int 1
+      & info [ "fwd" ] ~docv:"N" ~doc:"Connections sourcing on Host-1.")
+  in
+  let rev =
+    Arg.(
+      value & opt int 0
+      & info [ "rev" ] ~docv:"N" ~doc:"Connections sourcing on Host-2.")
+  in
+  let fixed =
+    Arg.(
+      value
+      & opt (some fixed_conv) None
+      & info [ "fixed" ] ~docv:"W1,W2"
+          ~doc:"Use two fixed-window connections instead of TCP.")
+  in
+  let delack =
+    Arg.(value & flag & info [ "delack" ] ~doc:"Enable the delayed-ACK option.")
+  in
+  let algorithm =
+    Arg.(
+      value & opt string "tahoe"
+      & info [ "algorithm" ] ~docv:"ALGO"
+          ~doc:"Congestion control: tahoe, tahoe-original, or reno.")
+  in
+  let pacing =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "pacing" ] ~docv:"SECONDS"
+          ~doc:"Pace data packets at least this far apart.")
+  in
+  let gateway =
+    Arg.(
+      value & opt string "fifo"
+      & info [ "gateway" ] ~docv:"KIND"
+          ~doc:"Bottleneck discipline: fifo, random-drop, or fair-queue.")
+  in
+  let flow_size =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "flow-size" ] ~docv:"PKTS"
+          ~doc:"Finite flows of this many packets (default: infinite).")
+  in
+  let skew =
+    Arg.(
+      value & opt float 0.
+      & info [ "skew" ] ~docv:"SECONDS"
+          ~doc:
+            "Extra one-way latency for every forward connection but the \
+             first (breaks the identical-RTT assumption).")
+  in
+  let ack_size =
+    Arg.(
+      value & opt int 50
+      & info [ "ack-size" ] ~docv:"BYTES" ~doc:"ACK packet size.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 600.
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated time.")
+  in
+  let warmup =
+    Arg.(
+      value & opt float 200.
+      & info [ "warmup" ] ~docv:"SECONDS" ~doc:"Excluded warm-up time.")
+  in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR" ~doc:"Dump traces as CSV files into DIR.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate a custom dumbbell scenario.")
+    Term.(
+      const run_custom $ tau $ buffer $ fwd $ rev $ fixed $ delack $ ack_size
+      $ algorithm $ pacing $ gateway $ flow_size $ skew $ duration $ warmup
+      $ csv)
+
+(* ---------------- plot ---------------- *)
+
+let plottable = [ "fig2"; "fig3"; "fig45"; "fig67"; "fig8"; "fig9" ]
+
+let plot_figure name quick width =
+  let speed = speed_of_quick quick in
+  let scenario =
+    match name with
+    | "fig2" -> Core.Experiments.scenario_fig2 speed
+    | "fig3" -> Core.Experiments.scenario_fig3 speed
+    | "fig45" -> Core.Experiments.scenario_fig45 speed
+    | "fig67" -> Core.Experiments.scenario_fig67 speed
+    | "fig8" -> Core.Experiments.scenario_fixed ~tau:0.01 ~w1:30 ~w2:25 speed
+    | "fig9" -> Core.Experiments.scenario_fixed ~tau:1.0 ~w1:30 ~w2:25 speed
+    | _ ->
+      prerr_endline
+        ("unknown figure " ^ name ^ "; expected one of: "
+        ^ String.concat ", " plottable);
+      exit 2
+  in
+  let r = Core.Runner.run scenario in
+  let span = Float.min 40. (r.t1 -. r.t0) in
+  let t0 = r.t1 -. span and t1 = r.t1 in
+  Printf.printf "%s: queue at switch 1 (packets)\n" name;
+  print_string
+    (Core.Ascii_plot.render ~width
+       (Trace.Queue_trace.series r.q1)
+       ~t0 ~t1);
+  Printf.printf "\n%s: queue at switch 2 (packets)\n" name;
+  print_string
+    (Core.Ascii_plot.render ~width
+       (Trace.Queue_trace.series r.q2)
+       ~t0 ~t1);
+  if Array.length r.cwnds >= 2 then begin
+    print_newline ();
+    Printf.printf "%s: congestion windows\n" name;
+    print_string
+      (Core.Ascii_plot.render_pair ~width ~labels:("cwnd-1", "cwnd-2")
+         (Trace.Cwnd_trace.cwnd r.cwnds.(0))
+         (Trace.Cwnd_trace.cwnd r.cwnds.(1))
+         ~t0:r.t0 ~t1:r.t1)
+  end;
+  0
+
+let plot_cmd =
+  let name_arg =
+    Arg.(
+      value & pos 0 string "fig45"
+      & info [] ~docv:"FIGURE"
+          ~doc:("Figure to plot: " ^ String.concat ", " plottable ^ "."))
+  in
+  let width =
+    Arg.(value & opt int 96 & info [ "width" ] ~docv:"COLS" ~doc:"Plot width.")
+  in
+  Cmd.v
+    (Cmd.info "plot" ~doc:"ASCII plots of a paper figure.")
+    Term.(const plot_figure $ name_arg $ quick_flag $ width)
+
+(* ---------------- dump ---------------- *)
+
+let dump_figures dir quick =
+  let speed = speed_of_quick quick in
+  let dump prefix scenario =
+    let r = Core.Runner.run scenario in
+    let files = Core.Export.run_csv ~dir ~prefix r in
+    Printf.printf "%s: %d files\n" prefix (List.length files)
+  in
+  dump "fig2" (Core.Experiments.scenario_fig2 speed);
+  dump "fig3" (Core.Experiments.scenario_fig3 speed);
+  dump "fig45" (Core.Experiments.scenario_fig45 speed);
+  dump "fig67" (Core.Experiments.scenario_fig67 speed);
+  dump "fig8" (Core.Experiments.scenario_fixed ~tau:0.01 ~w1:30 ~w2:25 speed);
+  dump "fig9" (Core.Experiments.scenario_fixed ~tau:1.0 ~w1:30 ~w2:25 speed);
+  Printf.printf "CSV traces written under %s\n" dir;
+  0
+
+let dump_cmd =
+  let dir =
+    Arg.(
+      value & opt string "figures-out"
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Write every figure's traces as CSV.")
+    Term.(const dump_figures $ dir $ quick_flag)
+
+let main =
+  Cmd.group
+    (Cmd.info "netsim" ~version:"1.0.0"
+       ~doc:
+         "Dynamics of the BSD 4.3-Tahoe TCP congestion control algorithm \
+          under two-way traffic (Zhang, Shenker & Clark, SIGCOMM '91).")
+    [ experiment_cmd; run_cmd; plot_cmd; dump_cmd ]
+
+let () = exit (Cmd.eval' main)

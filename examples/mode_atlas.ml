@@ -1,0 +1,78 @@
+(* An atlas of synchronization modes (paper 4.3.3, closing paragraphs).
+
+   "Upon varying the buffer size or the pipe size P ... one usually sees
+   one of the two cases described above.  However, we have also observed
+   behavior which does not fit neatly into our in-phase/out-of-phase
+   taxonomy."
+
+   This example sweeps buffer size x propagation delay for the two-way
+   1+1 configuration and classifies each run by its queue phase and
+   per-epoch loss pattern, mapping where each mode lives.
+
+   Legend:
+     O-  out-of-phase, single-loser epochs (the Figure 4 mode)
+     I=  in-phase, both connections lose each epoch (the Figure 6 mode)
+     O=, I-, ??  the paper's "less common" mixtures
+
+   Run with:  dune exec examples/mode_atlas.exe   (~10 s) *)
+
+let classify ~tau ~buffer =
+  let scenario =
+    Core.Scenario.make
+      ~name:(Printf.sprintf "atlas-%g-%d" tau buffer)
+      ~tau ~buffer:(Some buffer)
+      ~conns:
+        (Core.Scenario.stagger ~step:1.0
+           [
+             Core.Scenario.conn Core.Scenario.Forward;
+             Core.Scenario.conn Core.Scenario.Reverse;
+           ])
+      ~duration:400. ~warmup:150. ()
+  in
+  let r = Core.Runner.run scenario in
+  let phase, _ = Core.Runner.queue_phase r in
+  let epochs = Core.Runner.epochs r in
+  let single =
+    Option.value ~default:0. (Analysis.Epochs.single_loser_fraction epochs)
+  in
+  let phase_mark =
+    match phase with
+    | Analysis.Sync.Out_of_phase -> 'O'
+    | Analysis.Sync.In_phase -> 'I'
+    | Analysis.Sync.Unclassified -> '?'
+  in
+  let loss_mark =
+    if epochs = [] then '.'
+    else if single >= 0.8 then '-'  (* one connection takes the losses *)
+    else if single <= 0.2 then '='  (* losses shared *)
+    else '~'  (* mixed: the paper's "less common" patterns *)
+  in
+  let util = 100. *. Float.max r.util_fwd r.util_bwd in
+  (phase_mark, loss_mark, util)
+
+let () =
+  let taus = [ 0.01; 0.1; 0.25; 0.5; 1.0 ] in
+  let buffers = [ 10; 20; 40; 80 ] in
+  print_endline "Synchronization-mode atlas: two-way 1+1 traffic.";
+  print_endline
+    "cell = <phase><losses> util%   (O out-of-phase, I in-phase; - single\n\
+     loser, = shared losses, ~ mixed; the paper: out-of-phase for small\n\
+     pipe / big buffers, in-phase for large pipe / small buffers)";
+  print_newline ();
+  Printf.printf "%14s" "buffer \\ tau";
+  List.iter (fun tau -> Printf.printf "%12s" (Printf.sprintf "%gs" tau)) taus;
+  print_newline ();
+  List.iter
+    (fun buffer ->
+      Printf.printf "%14d" buffer;
+      List.iter
+        (fun tau ->
+          let phase, losses, util = classify ~tau ~buffer in
+          Printf.printf "%12s"
+            (Printf.sprintf "%c%c %.0f%%" phase losses util))
+        taus;
+      print_newline ())
+    buffers;
+  print_newline ();
+  print_endline
+    "Pipe sizes: tau=0.01s -> P=0.125 pkts ... tau=1s -> P=12.5 pkts."

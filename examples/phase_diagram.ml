@@ -1,0 +1,71 @@
+(* The synchronization-mode phase diagram (paper 4.3.3).
+
+   For the zero-size-ACK fixed-window system the paper conjectures a sharp
+   boundary: windows (w1, w2) sharing a bottleneck of pipe size P are
+   out-of-phase with exactly one line full when |w1 - w2| > 2P, and
+   in-phase with neither line full when |w1 - w2| < 2P.
+
+   This example sweeps the (w1, w2) plane at a fixed P and prints the
+   measured phase map; the conjectured boundary runs along the diagonals
+   w1 = w2 +/- 2P.
+
+   Run with:  dune exec examples/phase_diagram.exe   (~10 s) *)
+
+let pipe_tau = 0.4  (* P = 12.5 * 0.4 = 5 packets: boundary at |w1-w2| = 10 *)
+
+let classify w1 w2 =
+  let scenario =
+    Core.Scenario.make
+      ~name:(Printf.sprintf "pd-%d-%d" w1 w2)
+      ~tau:pipe_tau ~buffer:None
+      ~conns:
+        [
+          Core.Scenario.fixed_conn ~window:w1 ~ack_size:0 ~start_time:0.37
+            Core.Scenario.Forward;
+          Core.Scenario.fixed_conn ~window:w2 ~ack_size:0 ~start_time:1.91
+            Core.Scenario.Reverse;
+        ]
+      ~duration:150. ~warmup:60. ()
+  in
+  let r = Core.Runner.run scenario in
+  Analysis.Conjecture.observe ~full_threshold:0.985 ~util1:r.util_fwd
+    ~util2:r.util_bwd ()
+
+let () =
+  let windows = [ 6; 10; 14; 18; 22; 26; 30 ] in
+  let pipe =
+    Engine.Units.pipe_size
+      ~rate_bps:(Engine.Units.kbps 50.)
+      ~delay:pipe_tau ~packet_bytes:500
+  in
+  Printf.printf
+    "Measured phase map, zero-size ACKs, P = %.1f packets.\n\
+     O = out-of-phase (one line full), I = in-phase (neither full),\n\
+     B = both full.  Conjectured boundary: |w1 - w2| = 2P = %.0f.\n\n"
+    pipe (2. *. pipe);
+  Printf.printf "          w2 ->";
+  List.iter (fun w2 -> Printf.printf "%4d" w2) windows;
+  print_newline ();
+  List.iter
+    (fun w1 ->
+      Printf.printf "  w1 = %2d      " w1;
+      List.iter
+        (fun w2 ->
+          let observed = classify w1 w2 in
+          let mark =
+            match observed with
+            | Analysis.Conjecture.Out_of_phase_one_full -> 'O'
+            | Analysis.Conjecture.In_phase_neither_full -> 'I'
+            | Analysis.Conjecture.Boundary -> 'B'
+          in
+          let predicted = Analysis.Conjecture.predict ~w1 ~w2 ~pipe in
+          let agree = Analysis.Conjecture.verdict predicted ~observed in
+          Printf.printf "  %c%c" mark (if agree then ' ' else '!'))
+        windows;
+      print_newline ())
+    windows;
+  print_newline ();
+  print_endline
+    "(a '!' marks disagreement with the conjecture; the paper expects the";
+  print_endline
+    " criterion to be exact for zero-size ACKs away from the boundary)"

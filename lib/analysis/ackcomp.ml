@@ -1,0 +1,106 @@
+type spacing = {
+  samples : int;
+  median_gap : float;
+  ratio : float;
+  compressed_fraction : float;
+}
+
+let ack_spacing records ~data_tx =
+  let rec gaps records acc =
+    match records with
+    | (a : Trace.Dep_log.record) :: (b :: _ as rest) ->
+      if a.kind = Net.Packet.Ack && b.kind = Net.Packet.Ack && a.conn = b.conn
+      then gaps rest ((b.time -. a.time) :: acc)
+      else gaps rest acc
+    | [ _ ] | [] -> acc
+  in
+  match gaps records [] with
+  | [] -> None
+  | gap_list ->
+    let gap_array = Array.of_list gap_list in
+    let median_gap = Stats.median gap_array in
+    let compressed =
+      Array.fold_left
+        (fun acc g -> if g < 0.5 *. data_tx then acc + 1 else acc)
+        0 gap_array
+    in
+    Some
+      {
+        samples = Array.length gap_array;
+        median_gap;
+        ratio = median_gap /. data_tx;
+        compressed_fraction =
+          float_of_int compressed /. float_of_int (Array.length gap_array);
+      }
+
+type edge_slopes = {
+  rising : float option;
+  falling : float option;
+  rising_count : int;
+  falling_count : int;
+}
+
+let edge_slopes series ~t0 ~t1 ~min_rise =
+  if min_rise <= 0. then invalid_arg "Ackcomp.edge_slopes: min_rise <= 0";
+  let samples = Array.of_list (Trace.Series.window series ~t0 ~t1) in
+  let n = Array.length samples in
+  let rising = ref [] and falling = ref [] in
+  (* Scan maximal monotone runs; a run contributes an edge when its total
+     excursion reaches [min_rise] and it has nonzero duration. *)
+  let i = ref 0 in
+  while !i < n - 1 do
+    let dir = compare (snd samples.(!i + 1)) (snd samples.(!i)) in
+    if dir = 0 then incr i
+    else begin
+      (* strictly monotone: queue samples move by whole packets, and a
+         flat stretch belongs to a plateau, not an edge *)
+      let monotone a b = if dir > 0 then b > a else b < a in
+      let j = ref (!i + 1) in
+      while !j < n - 1 && monotone (snd samples.(!j)) (snd samples.(!j + 1)) do
+        incr j
+      done;
+      let t_start, v_start = samples.(!i) in
+      let t_end, v_end = samples.(!j) in
+      let rise = v_end -. v_start in
+      if Float.abs rise >= min_rise && t_end > t_start then begin
+        let slope = rise /. (t_end -. t_start) in
+        if dir > 0 then rising := slope :: !rising
+        else falling := slope :: !falling
+      end;
+      i := !j
+    end
+  done;
+  let median = function
+    | [] -> None
+    | slopes -> Some (Stats.median (Array.of_list slopes))
+  in
+  {
+    rising = median !rising;
+    falling = median !falling;
+    rising_count = List.length !rising;
+    falling_count = List.length !falling;
+  }
+
+let fluctuation_rate series ~t0 ~t1 ~window ~threshold =
+  if window <= 0. then invalid_arg "Ackcomp.fluctuation_rate: window <= 0";
+  if threshold <= 0. then invalid_arg "Ackcomp.fluctuation_rate: threshold <= 0";
+  let samples = Array.of_list (Trace.Series.window series ~t0 ~t1) in
+  let n = Array.length samples in
+  let events = ref 0 in
+  let i = ref 0 in
+  while !i < n - 1 do
+    let t_start, v_start = samples.(!i) in
+    (* Find the largest excursion within [t_start, t_start + window]. *)
+    let j = ref (!i + 1) in
+    let hit = ref false in
+    while (not !hit) && !j < n && fst samples.(!j) -. t_start <= window do
+      let _, v = samples.(!j) in
+      if Float.abs (v -. v_start) >= threshold then hit := true else incr j
+    done;
+    if !hit then begin
+      incr events;
+      i := !j  (* skip past the excursion so one swing counts once *)
+    end
+    else incr i
+  done;
+  if t1 <= t0 then 0. else float_of_int !events /. (t1 -. t0)

@@ -1,0 +1,45 @@
+(** ACK-compression measures (paper §4.2).
+
+    With one-way traffic, ACKs depart the (empty) reverse queue spaced by
+    a {e data}-packet transmission time — the ACK clock.  With two-way
+    traffic, a cluster of ACKs caught behind data packets drains at the
+    {e ACK} transmission rate, i.e. spacing shrinks by the size ratio
+    (10x in the paper).  We quantify this from the bottleneck departure
+    log and from the queue trace. *)
+
+type spacing = {
+  samples : int;  (** consecutive same-connection ACK pairs measured *)
+  median_gap : float;  (** seconds *)
+  ratio : float;  (** median_gap / data_tx_time; 1 = intact clock, 0.1 = fully compressed *)
+  compressed_fraction : float;
+      (** fraction of pairs with gap < 0.5 * data tx time *)
+}
+
+(** Inter-departure spacing of consecutive ACKs of the same connection.
+    [None] if no such pair exists. *)
+val ack_spacing :
+  Trace.Dep_log.record list -> data_tx:float -> spacing option
+
+(** Rapid queue fluctuations: the number of times the queue length changes
+    by at least [threshold] packets within [window] seconds, per second of
+    trace.  The paper's square waves score high; one-way traffic scores ~0.
+    @raise Invalid_argument if [window <= 0] or [threshold <= 0]. *)
+val fluctuation_rate :
+  Trace.Series.t -> t0:float -> t1:float -> window:float -> threshold:float ->
+  float
+
+type edge_slopes = {
+  rising : float option;  (** median slope of rising edges, pkts/s *)
+  falling : float option;  (** median slope of falling edges (negative) *)
+  rising_count : int;
+  falling_count : int;
+}
+
+(** Median slopes of the square wave's edges — maximal monotone excursions
+    of at least [min_rise] packets.  The §4.2 chronology predicts the
+    edges run at [±(R_A - R_D)]: data arrives at the compressed-ACK rate
+    while draining at the data rate (and vice versa when an ACK cluster
+    reaches the head of the queue).
+    @raise Invalid_argument if [min_rise <= 0]. *)
+val edge_slopes :
+  Trace.Series.t -> t0:float -> t1:float -> min_rise:float -> edge_slopes

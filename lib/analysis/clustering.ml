@@ -1,0 +1,39 @@
+let data_only records =
+  List.filter
+    (fun (r : Trace.Dep_log.record) -> r.kind = Net.Packet.Data)
+    records
+
+let coefficient records =
+  let rec count records same total =
+    match records with
+    | (a : Trace.Dep_log.record) :: (b :: _ as rest) ->
+      count rest (if a.conn = b.conn then same + 1 else same) (total + 1)
+    | [ _ ] | [] -> (same, total)
+  in
+  match count records 0 0 with
+  | _, 0 -> None
+  | same, total -> Some (float_of_int same /. float_of_int total)
+
+let run_lengths records =
+  let rec scan records current_conn current_len acc =
+    match records with
+    | [] -> if current_len > 0 then List.rev (current_len :: acc) else List.rev acc
+    | (r : Trace.Dep_log.record) :: rest ->
+      if current_len > 0 && r.conn = current_conn then
+        scan rest current_conn (current_len + 1) acc
+      else
+        scan rest r.conn 1
+          (if current_len > 0 then current_len :: acc else acc)
+  in
+  scan records (-1) 0 []
+
+let mean_run_length records =
+  match run_lengths records with
+  | [] -> None
+  | lengths ->
+    let total = List.fold_left ( + ) 0 lengths in
+    Some (float_of_int total /. float_of_int (List.length lengths))
+
+let interleaved_baseline ~n =
+  if n <= 0 then invalid_arg "Clustering.interleaved_baseline: n <= 0";
+  if n = 1 then 1. else 1. /. float_of_int n

@@ -1,0 +1,28 @@
+(** Packet-clustering measures (paper §3.1).
+
+    In the simple configurations the paper studies, all of a connection's
+    data packets pass the bottleneck consecutively ("complete
+    clustering").  We quantify this from the bottleneck departure log:
+
+    - the {e clustering coefficient}: the fraction of consecutive data
+      departures that belong to the same connection (1 = complete
+      clustering for long windows; ~1/n for n interleaved connections);
+    - run lengths: sizes of maximal same-connection bursts. *)
+
+(** Consecutive same-connection fraction among the given departures.
+    [None] if fewer than two records. *)
+val coefficient : Trace.Dep_log.record list -> float option
+
+(** Only data packets from [records]. *)
+val data_only : Trace.Dep_log.record list -> Trace.Dep_log.record list
+
+(** Lengths of maximal same-connection runs, in order. *)
+val run_lengths : Trace.Dep_log.record list -> int list
+
+(** Mean of {!run_lengths}. [None] on an empty input. *)
+val mean_run_length : Trace.Dep_log.record list -> float option
+
+(** Expected coefficient if the [n] connections' packets arrived in a
+    uniformly random order: [1/n].  A reporting baseline.
+    @raise Invalid_argument if [n <= 0]. *)
+val interleaved_baseline : n:int -> float

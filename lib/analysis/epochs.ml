@@ -1,0 +1,88 @@
+type t = {
+  start : float;
+  stop : float;
+  drops : Trace.Drop_log.record list;
+  by_conn : (int * int) list;
+}
+
+let summarize drops =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Trace.Drop_log.record) ->
+      let count = try Hashtbl.find tbl r.conn with Not_found -> 0 in
+      Hashtbl.replace tbl r.conn (count + 1))
+    drops;
+  let by_conn = Hashtbl.fold (fun conn count acc -> (conn, count) :: acc) tbl [] in
+  List.sort compare by_conn
+
+let make drops =
+  match drops with
+  | [] -> invalid_arg "Epochs.make: no drops"
+  | first :: _ ->
+    let last = List.nth drops (List.length drops - 1) in
+    {
+      start = first.Trace.Drop_log.time;
+      stop = last.Trace.Drop_log.time;
+      drops;
+      by_conn = summarize drops;
+    }
+
+let detect ~gap records =
+  if gap <= 0. then invalid_arg "Epochs.detect: gap must be positive";
+  let flush current epochs =
+    match current with [] -> epochs | drops -> make (List.rev drops) :: epochs
+  in
+  let rec scan records current last_time epochs =
+    match records with
+    | [] -> List.rev (flush current epochs)
+    | (r : Trace.Drop_log.record) :: rest ->
+      if current = [] || r.time -. last_time <= gap then
+        scan rest (r :: current) r.time epochs
+      else scan rest [ r ] r.time (flush current epochs)
+  in
+  scan records [] neg_infinity []
+
+let total_drops t = List.length t.drops
+let conns_hit t = List.map fst t.by_conn
+
+let losses_of t ~conn =
+  match List.assoc_opt conn t.by_conn with Some n -> n | None -> 0
+
+let mean_drops = function
+  | [] -> None
+  | epochs ->
+    let total = List.fold_left (fun acc e -> acc + total_drops e) 0 epochs in
+    Some (float_of_int total /. float_of_int (List.length epochs))
+
+let loss_synchronization epochs ~conns =
+  match epochs with
+  | [] -> None
+  | _ ->
+    let all_hit e = List.for_all (fun c -> losses_of e ~conn:c > 0) conns in
+    let hits = List.length (List.filter all_hit epochs) in
+    Some (float_of_int hits /. float_of_int (List.length epochs))
+
+let single_loser epochs = List.filter (fun e -> List.length e.by_conn = 1) epochs
+
+let single_loser_fraction = function
+  | [] -> None
+  | epochs ->
+    Some
+      (float_of_int (List.length (single_loser epochs))
+      /. float_of_int (List.length epochs))
+
+let alternation epochs =
+  let losers =
+    List.filter_map
+      (fun e -> match e.by_conn with [ (conn, _) ] -> Some conn | _ -> None)
+      epochs
+  in
+  let rec pairs = function
+    | a :: (b :: _ as rest) -> (a <> b) :: pairs rest
+    | [ _ ] | [] -> []
+  in
+  match pairs losers with
+  | [] -> None
+  | flips ->
+    let alternating = List.length (List.filter Fun.id flips) in
+    Some (float_of_int alternating /. float_of_int (List.length flips))

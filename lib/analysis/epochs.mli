@@ -1,0 +1,42 @@
+(** Congestion-epoch extraction (paper §2.1, §3.1).
+
+    A congestion epoch is an episode of packet loss; losses separated by
+    less than [gap] seconds belong to the same epoch.  The paper's
+    "acceleration analysis" predicts that the total number of drops in an
+    epoch equals the total window acceleration (one per connection in
+    congestion avoidance). *)
+
+type t = {
+  start : float;  (** time of first drop *)
+  stop : float;  (** time of last drop *)
+  drops : Trace.Drop_log.record list;
+  by_conn : (int * int) list;  (** (connection, losses), sorted by conn *)
+}
+
+(** Group chronologically-sorted drop records into epochs.
+    @raise Invalid_argument if [gap <= 0]. *)
+val detect : gap:float -> Trace.Drop_log.record list -> t list
+
+val total_drops : t -> int
+val conns_hit : t -> int list
+
+(** Losses of [conn] in this epoch (0 if unscathed). *)
+val losses_of : t -> conn:int -> int
+
+(** Mean drops per epoch. [None] on an empty list. *)
+val mean_drops : t list -> float option
+
+(** Fraction of epochs in which every one of [conns] lost at least one
+    packet — the paper's loss-synchronization measure.
+    [None] on an empty epoch list. *)
+val loss_synchronization : t list -> conns:int list -> float option
+
+(** Fraction of epochs whose drops all belong to a single connection
+    (the Figure-4 pattern).  [None] on an empty list. *)
+val single_loser_fraction : t list -> float option
+
+(** Does the identity of the (single) losing connection alternate between
+    consecutive single-loser epochs?  Returns the fraction of consecutive
+    single-loser pairs that alternate; [None] if fewer than two
+    single-loser epochs. *)
+val alternation : t list -> float option

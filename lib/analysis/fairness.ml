@@ -1,0 +1,14 @@
+let jain shares =
+  if Array.length shares = 0 then invalid_arg "Fairness.jain: empty";
+  if Array.exists (fun x -> x < 0.) shares then
+    invalid_arg "Fairness.jain: negative share";
+  let total = Array.fold_left ( +. ) 0. shares in
+  let squares = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. shares in
+  if squares <= 0. then 1.  (* all zero: degenerate but not unfair *)
+  else total *. total /. (float_of_int (Array.length shares) *. squares)
+
+let max_min_ratio shares =
+  if Array.length shares = 0 then invalid_arg "Fairness.max_min_ratio: empty";
+  let hi = Array.fold_left Float.max shares.(0) shares in
+  let lo = Array.fold_left Float.min shares.(0) shares in
+  if lo <= 0. then infinity else hi /. lo

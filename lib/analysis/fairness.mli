@@ -1,0 +1,14 @@
+(** Bandwidth-sharing fairness.
+
+    The Wilder-Ramakrishnan-Mankin measurements the paper cites (§5) found
+    that ACK-compression causes {e extreme unfairness} under two-way
+    traffic; Jain's index quantifies it:
+    [J(x) = (sum x)^2 / (n * sum x^2)], which is 1 for a perfectly even
+    allocation and [1/n] when a single connection hogs everything. *)
+
+val jain : float array -> float
+(** @raise Invalid_argument on an empty array or any negative share. *)
+
+(** Largest share divided by smallest (>= 1); [infinity] when some
+    connection got nothing.  @raise Invalid_argument on an empty array. *)
+val max_min_ratio : float array -> float

@@ -1,0 +1,93 @@
+(* For each column (time bin) compute the min..max of the step function in
+   the bin so fast alternations appear as filled bands, as in the paper. *)
+let column_ranges series ~t0 ~t1 ~width =
+  let dt = (t1 -. t0) /. float_of_int width in
+  Array.init width (fun k ->
+      let bin_start = t0 +. (dt *. float_of_int k) in
+      let bin_end = bin_start +. dt in
+      let carried = Trace.Series.value_at series ~time:bin_start in
+      let inside = Trace.Series.window series ~t0:bin_start ~t1:bin_end in
+      let values =
+        (match carried with Some v -> [ v ] | None -> [])
+        @ List.map snd inside
+      in
+      match values with
+      | [] -> None
+      | v :: rest ->
+        Some
+          (List.fold_left Float.min v rest, List.fold_left Float.max v rest))
+
+let observed_max ranges =
+  Array.fold_left
+    (fun acc r -> match r with None -> acc | Some (_, hi) -> Float.max acc hi)
+    0. ranges
+
+let draw_into grid ~height ~y_max ranges mark =
+  let scale v =
+    if y_max <= 0. then 0
+    else
+      let row = int_of_float (v /. y_max *. float_of_int (height - 1)) in
+      max 0 (min (height - 1) row)
+  in
+  Array.iteri
+    (fun col range ->
+      match range with
+      | None -> ()
+      | Some (lo, hi) ->
+        for row = scale lo to scale hi do
+          let cell = grid.(row).(col) in
+          grid.(row).(col) <-
+            (if cell = ' ' then mark else if cell = mark then mark else '#')
+        done)
+    ranges
+
+let render_grid grid ~width ~height ~y_max ~t0 ~t1 ~header =
+  let buf = Buffer.create ((width + 10) * (height + 3)) in
+  if header <> "" then begin
+    Buffer.add_string buf header;
+    Buffer.add_char buf '\n'
+  end;
+  for row = height - 1 downto 0 do
+    let y = y_max *. float_of_int row /. float_of_int (height - 1) in
+    Buffer.add_string buf (Printf.sprintf "%6.1f |" y);
+    for col = 0 to width - 1 do
+      Buffer.add_char buf grid.(row).(col)
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf ("       +" ^ String.make width '-' ^ "\n");
+  Buffer.add_string buf
+    (Printf.sprintf "        %-*.1f%*.1f (s)" (width - 8) t0 8 t1);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let render ?(width = 72) ?(height = 16) ?y_max ?(label = "") series ~t0 ~t1 =
+  if width < 8 || height < 2 then invalid_arg "Ascii_plot.render: too small";
+  let ranges = column_ranges series ~t0 ~t1 ~width in
+  let y_max =
+    match y_max with
+    | Some m -> m
+    | None -> Float.max 1. (observed_max ranges)
+  in
+  let grid = Array.make_matrix height width ' ' in
+  draw_into grid ~height ~y_max ranges '*';
+  render_grid grid ~width ~height ~y_max ~t0 ~t1 ~header:label
+
+let render_pair ?(width = 72) ?(height = 16) ?y_max ?labels a b ~t0 ~t1 =
+  if width < 8 || height < 2 then invalid_arg "Ascii_plot.render_pair: too small";
+  let ranges_a = column_ranges a ~t0 ~t1 ~width in
+  let ranges_b = column_ranges b ~t0 ~t1 ~width in
+  let y_max =
+    match y_max with
+    | Some m -> m
+    | None -> Float.max 1. (Float.max (observed_max ranges_a) (observed_max ranges_b))
+  in
+  let grid = Array.make_matrix height width ' ' in
+  draw_into grid ~height ~y_max ranges_a '*';
+  draw_into grid ~height ~y_max ranges_b '+';
+  let header =
+    match labels with
+    | Some (la, lb) -> Printf.sprintf "* %s   + %s   # both" la lb
+    | None -> ""
+  in
+  render_grid grid ~width ~height ~y_max ~t0 ~t1 ~header

@@ -1,0 +1,31 @@
+(** Terminal plots of step time series, in the spirit of the paper's
+    figures.  Each column covers a time bin; the cells between the bin's
+    minimum and maximum values are filled, so the paper's "darkened
+    regions" (queue length alternating between adjacent values faster than
+    the plot resolution) render the same way they do in print. *)
+
+(** [render series ~t0 ~t1] draws one series.  [height] rows of data plus
+    an axis; [width] columns.  [y_max] fixes the scale (defaults to the
+    observed maximum). *)
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?y_max:float ->
+  ?label:string ->
+  Trace.Series.t ->
+  t0:float ->
+  t1:float ->
+  string
+
+(** Overlay two series ([a] drawn with ['*'], [b] with ['+'], overlap
+    ['#']). *)
+val render_pair :
+  ?width:int ->
+  ?height:int ->
+  ?y_max:float ->
+  ?labels:string * string ->
+  Trace.Series.t ->
+  Trace.Series.t ->
+  t0:float ->
+  t1:float ->
+  string

@@ -1,0 +1,95 @@
+(** One entry per table and figure in the paper, each returning a
+    {!Report.outcome} of paper-vs-measured checks.
+
+    [Quick] shortens the simulated horizon (used by the test suite);
+    [Full] uses paper-scale 600 s runs.  Acceptance bands are deliberately
+    generous: the goal is the paper's {e shape} (who wins, what
+    synchronizes with what, where utilization saturates), not its exact
+    third digits. *)
+
+type speed = Quick | Full
+
+(** {1 Scenario constructors} (exposed for the CLI, figures dumper and
+    tests) *)
+
+val scenario_fig2 : speed -> Scenario.t
+(** One-way, 3 connections, tau = 1 s, B = 20. *)
+
+val scenario_oneway_small_pipe : speed -> Scenario.t
+(** One-way, 3 connections, tau = 0.01 s, B = 20 (the "nearly 100%" case). *)
+
+val scenario_fig3 : ?buffer:int -> speed -> Scenario.t
+(** Two-way, 5 + 5 connections, tau = 0.01 s, B = 30 (or [buffer]). *)
+
+val scenario_fig45 : ?buffer:int -> speed -> Scenario.t
+(** Two-way, 1 + 1, tau = 0.01 s, B = 20 (or [buffer]). *)
+
+val scenario_fig67 : speed -> Scenario.t
+(** Two-way, 1 + 1, tau = 1 s, B = 20. *)
+
+val scenario_fixed :
+  ?ack_size:int -> tau:float -> w1:int -> w2:int -> speed -> Scenario.t
+(** Fixed windows [w1] (forward) and [w2] (reverse), infinite buffers. *)
+
+(** {1 Experiments} *)
+
+val fig2 : ?speed:speed -> unit -> Report.outcome
+val fig3 : ?speed:speed -> unit -> Report.outcome
+val fig45 : ?speed:speed -> unit -> Report.outcome
+val fig67 : ?speed:speed -> unit -> Report.outcome
+val fig8 : ?speed:speed -> unit -> Report.outcome
+val fig9 : ?speed:speed -> unit -> Report.outcome
+
+val conjecture_table : ?speed:speed -> unit -> Report.outcome
+(** §4.3.3 zero-size-ACK phase criterion, swept over windows and pipes. *)
+
+val buffer_table : ?speed:speed -> unit -> Report.outcome
+(** Utilization vs buffer size: one-way rises toward 1, two-way is stuck. *)
+
+val delack_table : ?speed:speed -> unit -> Report.outcome
+(** §5 delayed-ACK option: clustering and compression vs window size. *)
+
+val multihop_table : ?speed:speed -> unit -> Report.outcome
+(** §5 four-switch chain: the phenomena survive complex topologies. *)
+
+val ablation_table : ?speed:speed -> unit -> Report.outcome
+(** Design ablations: modified vs unmodified CA increment; coarse vs
+    continuous retransmission timers. *)
+
+val reno_table : ?speed:speed -> unit -> Report.outcome
+(** 1's conjecture, part 1: the phenomena are not Tahoe-specific — 4.3-Reno
+    fast recovery shows the same synchronization modes and fluctuations. *)
+
+val pacing_table : ?speed:speed -> unit -> Report.outcome
+(** 1's conjecture, part 2: pacing destroys the clustering that
+    ACK-compression requires, and with it the two-way utilization
+    penalty. *)
+
+val gateway_table : ?speed:speed -> unit -> Report.outcome
+(** Gateways beyond drop-tail FIFO (the related-work axis the paper cites):
+    Random Drop and Fair Queueing under two-way traffic. *)
+
+val collapse_table : ?speed:speed -> unit -> Report.outcome
+(** The pre-Jacobson baseline (2.1): a fixed advertised window with
+    retransmission but no congestion control collapses under load —
+    the motivating comparison for the whole line of work. *)
+
+val rtt_table : ?speed:speed -> unit -> Report.outcome
+(** 3.1/5: complete clustering depends on identical round-trip times;
+    a skew above one packet transmission time leaves only partial
+    clustering. *)
+
+val formula_table : ?speed:speed -> unit -> Report.outcome
+(** 3.1's closed forms, checked exactly: the fixed-window steady-state
+    queue [q = max 0 (sum wnd - 2P)], the underfilled-pipe utilization
+    [sum(wnd) * tx / RTT], and the adaptive peak total window
+    [C + acceleration]. *)
+
+val all : ?speed:speed -> unit -> Report.outcome list
+(** Every experiment above, in paper order. *)
+
+val registry : (string * (?speed:speed -> unit -> Report.outcome)) list
+(** Name -> experiment, in paper order (the names the CLI and bench use:
+    "fig2" ... "rtt"). *)
+
+val find : string -> (?speed:speed -> unit -> Report.outcome) option

@@ -1,0 +1,44 @@
+(** Paper-vs-measured reporting.
+
+    Every experiment produces an {!outcome}: a list of named checks, each
+    carrying the value the paper reports, the value we measured, and — when
+    the expectation is quantitative — whether the measurement lands in the
+    acceptance band.  Checks with [pass = None] are informational (the
+    paper gives no number to compare against). *)
+
+type check = {
+  metric : string;
+  paper : string;  (** what the paper reports *)
+  measured : string;
+  pass : bool option;
+}
+
+type outcome = { id : string; title : string; checks : check list }
+
+(** An informational check (no acceptance band). *)
+val info : metric:string -> paper:string -> measured:string -> check
+
+(** A numeric check passing iff [lo <= value <= hi]. *)
+val in_band :
+  metric:string -> paper:string -> value:float -> lo:float -> hi:float -> check
+
+(** A boolean check. *)
+val expect :
+  metric:string -> paper:string -> measured:string -> bool -> check
+
+val all_passed : outcome -> bool
+val failed_checks : outcome -> check list
+
+(** Render as an aligned ASCII table. *)
+val pp : Format.formatter -> outcome -> unit
+
+val print : outcome -> unit
+
+(** One summary line: "FIG4  12/12 checks  PASS". *)
+val summary_line : outcome -> string
+
+(** Render one outcome (or a list) as JSON, for machine consumption:
+    [{"id": ..., "title": ..., "passed": bool, "checks": [...]}]. *)
+val to_json : outcome -> string
+
+val list_to_json : outcome list -> string

@@ -1,0 +1,142 @@
+type result = {
+  scenario : Scenario.t;
+  dumbbell : Net.Topology.dumbbell;
+  conns : (Scenario.conn_spec * Tcp.Connection.t) array;
+  q1 : Trace.Queue_trace.t;
+  q2 : Trace.Queue_trace.t;
+  cwnds : Trace.Cwnd_trace.t array;
+  drops : Trace.Drop_log.t;
+  dep_fwd : Trace.Dep_log.t;
+  dep_bwd : Trace.Dep_log.t;
+  soj_fwd : Trace.Sojourn_trace.t;
+  soj_bwd : Trace.Sojourn_trace.t;
+  util_fwd : float;
+  util_bwd : float;
+  t0 : float;
+  t1 : float;
+  delivered : int array;
+}
+
+let connection_config (d : Net.Topology.dumbbell) ~conn_id
+    (spec : Scenario.conn_spec) =
+  let src_host, dst_host =
+    match spec.dir with
+    | Scenario.Forward -> (d.host1, d.host2)
+    | Scenario.Reverse -> (d.host2, d.host1)
+  in
+  Tcp.Config.make ~conn:conn_id ~src_host ~dst_host ~ack_size:spec.ack_size
+    ~maxwnd:spec.maxwnd ~algorithm:spec.algorithm ~start_time:spec.start_time
+    ~delayed_ack:spec.delayed_ack ~loss_detection:spec.loss_detection
+    ~rto_params:spec.rto_params ~pacing:spec.pacing ~rtt_skew:spec.rtt_skew
+    ~flow_size:spec.flow_size ()
+
+let run (scenario : Scenario.t) =
+  let sim = Engine.Sim.create () in
+  let params = Net.Topology.params ~gateway:scenario.gateway ~tau:scenario.tau
+      ~buffer:scenario.buffer () in
+  let dumbbell = Net.Topology.dumbbell sim params in
+  let conns =
+    Array.of_list
+      (List.mapi
+         (fun i spec ->
+           let config = connection_config dumbbell ~conn_id:(i + 1) spec in
+           (spec, Tcp.Connection.create dumbbell.net config))
+         scenario.conns)
+  in
+  let now = Engine.Sim.now sim in
+  let q1 = Trace.Queue_trace.attach dumbbell.fwd ~now in
+  let q2 = Trace.Queue_trace.attach dumbbell.bwd ~now in
+  let cwnds =
+    Array.map
+      (fun (_spec, c) -> Trace.Cwnd_trace.attach (Tcp.Connection.sender c) ~now)
+      conns
+  in
+  let drops = Trace.Drop_log.create () in
+  List.iter (Trace.Drop_log.watch drops) (Net.Network.links dumbbell.net);
+  let dep_fwd = Trace.Dep_log.attach dumbbell.fwd in
+  let dep_bwd = Trace.Dep_log.attach dumbbell.bwd in
+  let soj_fwd = Trace.Sojourn_trace.attach dumbbell.fwd in
+  let soj_bwd = Trace.Sojourn_trace.attach dumbbell.bwd in
+  (* Metering starts at the end of warm-up. *)
+  let meters = ref None in
+  let delivered_at_warmup = Array.make (Array.length conns) 0 in
+  ignore
+    (Engine.Sim.at sim ~time:scenario.warmup (fun () ->
+         let now = Engine.Sim.now sim in
+         meters :=
+           Some
+             ( Trace.Util_meter.start dumbbell.fwd ~now,
+               Trace.Util_meter.start dumbbell.bwd ~now );
+         Array.iteri
+           (fun i (_spec, c) ->
+             delivered_at_warmup.(i) <- Tcp.Connection.delivered c)
+           conns)
+      : Engine.Sim.handle);
+  Engine.Sim.run sim ~until:scenario.duration;
+  let now = Engine.Sim.now sim in
+  let util_fwd, util_bwd =
+    match !meters with
+    | Some (fwd, bwd) ->
+      ( Trace.Util_meter.utilization fwd ~now,
+        Trace.Util_meter.utilization bwd ~now )
+    | None -> failwith "Runner: warmup event never fired"
+  in
+  let delivered =
+    Array.mapi
+      (fun i (_spec, c) -> Tcp.Connection.delivered c - delivered_at_warmup.(i))
+      conns
+  in
+  {
+    scenario;
+    dumbbell;
+    conns;
+    q1;
+    q2;
+    cwnds;
+    drops;
+    dep_fwd;
+    dep_bwd;
+    soj_fwd;
+    soj_bwd;
+    util_fwd;
+    util_bwd;
+    t0 = scenario.warmup;
+    t1 = scenario.duration;
+    delivered;
+  }
+
+let goodput r i = float_of_int r.delivered.(i) /. (r.t1 -. r.t0)
+
+let goodput_dir r dir =
+  let total = ref 0. in
+  Array.iteri
+    (fun i (spec, _c) ->
+      if spec.Scenario.dir = dir then total := !total +. goodput r i)
+    r.conns;
+  !total
+
+let drops_in_window r = Trace.Drop_log.in_window r.drops ~t0:r.t0 ~t1:r.t1
+
+let epochs ?(gap = 5.) r = Analysis.Epochs.detect ~gap (drops_in_window r)
+
+let queue_phase r =
+  Analysis.Sync.classify
+    (Trace.Queue_trace.series r.q1)
+    (Trace.Queue_trace.series r.q2)
+    ~t0:r.t0 ~t1:r.t1 ~dt:r.scenario.sample_dt
+
+let cwnd_phase r i j =
+  Analysis.Sync.classify
+    (Trace.Cwnd_trace.cwnd r.cwnds.(i))
+    (Trace.Cwnd_trace.cwnd r.cwnds.(j))
+    ~t0:r.t0 ~t1:r.t1 ~dt:r.scenario.sample_dt
+
+let effective_pipe r =
+  let data_tx = Scenario.data_tx r.scenario in
+  let pipe trace =
+    Trace.Sojourn_trace.effective_pipe_packets trace ~data_tx ~t0:r.t0 ~t1:r.t1
+  in
+  match (pipe r.soj_fwd, pipe r.soj_bwd) with
+  | Some a, Some b -> Some (Float.max a b)
+  | (Some _ as x), None | None, (Some _ as x) -> x
+  | None, None -> None

@@ -1,0 +1,49 @@
+(** Builds a {!Scenario} into a live network, runs it, and collects the
+    traces and summary metrics every experiment needs. *)
+
+type result = {
+  scenario : Scenario.t;
+  dumbbell : Net.Topology.dumbbell;
+  conns : (Scenario.conn_spec * Tcp.Connection.t) array;
+      (** in scenario order; connection ids are 1-based indices *)
+  q1 : Trace.Queue_trace.t;  (** bottleneck queue at Switch-1 (fwd direction) *)
+  q2 : Trace.Queue_trace.t;  (** bottleneck queue at Switch-2 (rev direction) *)
+  cwnds : Trace.Cwnd_trace.t array;  (** in scenario order *)
+  drops : Trace.Drop_log.t;  (** drops anywhere in the network *)
+  dep_fwd : Trace.Dep_log.t;  (** departures from the fwd bottleneck *)
+  dep_bwd : Trace.Dep_log.t;
+  soj_fwd : Trace.Sojourn_trace.t;  (** per-packet queueing delay, fwd *)
+  soj_bwd : Trace.Sojourn_trace.t;
+  util_fwd : float;  (** fwd bottleneck utilization over the window *)
+  util_bwd : float;
+  t0 : float;  (** measurement window start (= warmup) *)
+  t1 : float;  (** measurement window end (= duration) *)
+  delivered : int array;  (** packets acked per connection within the window *)
+}
+
+(** Build and run to completion. *)
+val run : Scenario.t -> result
+
+(** Goodput of connection [i] (packets/s) over the measurement window. *)
+val goodput : result -> int -> float
+
+(** Aggregate goodput (packets/s) of connections sending in [dir]. *)
+val goodput_dir : result -> Scenario.direction -> float
+
+(** Drops within the measurement window, chronological. *)
+val drops_in_window : result -> Trace.Drop_log.record list
+
+(** Congestion epochs within the window (gap defaults to 5 s). *)
+val epochs : ?gap:float -> result -> Analysis.Epochs.t list
+
+(** Phase classification of the two bottleneck queue series. *)
+val queue_phase : result -> Analysis.Sync.phase * float
+
+(** Phase classification of two connections' cwnd series. *)
+val cwnd_phase : result -> int -> int -> Analysis.Sync.phase * float
+
+(** Mean ACK queueing delay over the window, expressed in data-packet
+    transmission times — the paper's effective-pipe contribution (4.2).
+    The maximum of the two directions (ACK clusters ride whichever queue
+    is congested).  [None] if no ACKs crossed the bottleneck. *)
+val effective_pipe : result -> float option

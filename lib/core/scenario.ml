@@ -1,0 +1,83 @@
+type direction = Forward | Reverse
+
+type conn_spec = {
+  dir : direction;
+  algorithm : Tcp.Cong.algorithm;
+  start_time : float;
+  delayed_ack : bool;
+  ack_size : int;
+  loss_detection : bool;
+  maxwnd : int;
+  rto_params : Tcp.Rto.params;
+  pacing : float option;
+  rtt_skew : float;
+  flow_size : int option;
+}
+
+let conn ?(algorithm = Tcp.Cong.Tahoe { modified_ca = true }) ?(start_time = 0.)
+    ?(delayed_ack = false) ?(ack_size = 50) ?(loss_detection = true)
+    ?(maxwnd = 1000) ?(rto_params = Tcp.Rto.default_params) ?(pacing = None)
+    ?(rtt_skew = 0.) ?(flow_size = None) dir =
+  {
+    dir;
+    algorithm;
+    start_time;
+    delayed_ack;
+    ack_size;
+    loss_detection;
+    maxwnd;
+    rto_params;
+    pacing;
+    rtt_skew;
+    flow_size;
+  }
+
+let fixed_conn ?(start_time = 0.) ?(ack_size = 50) ~window dir =
+  {
+    dir;
+    algorithm = Tcp.Cong.Fixed window;
+    start_time;
+    delayed_ack = false;
+    ack_size;
+    loss_detection = false;
+    maxwnd = max 1000 (window + 1);
+    rto_params = Tcp.Rto.default_params;
+    pacing = None;
+    rtt_skew = 0.;
+    flow_size = None;
+  }
+
+type t = {
+  name : string;
+  tau : float;
+  buffer : int option;
+  gateway : Net.Discipline.kind;
+  conns : conn_spec list;
+  duration : float;
+  warmup : float;
+  sample_dt : float;
+}
+
+let make ~name ~tau ~buffer ?(gateway = Net.Discipline.Fifo) ~conns
+    ?(duration = 600.) ?(warmup = 200.) ?(sample_dt = 0.5) () =
+  if conns = [] then invalid_arg "Scenario.make: no connections";
+  if duration <= warmup then invalid_arg "Scenario.make: duration <= warmup";
+  if sample_dt <= 0. then invalid_arg "Scenario.make: sample_dt <= 0";
+  { name; tau; buffer; gateway; conns; duration; warmup; sample_dt }
+
+let data_packet_size = 500
+
+let pipe t =
+  Engine.Units.pipe_size
+    ~rate_bps:(Engine.Units.kbps 50.)
+    ~delay:t.tau ~packet_bytes:data_packet_size
+
+let data_tx _t =
+  Engine.Units.transmission_time ~bytes:data_packet_size
+    ~rate_bps:(Engine.Units.kbps 50.)
+
+let stagger ~step specs =
+  List.mapi
+    (fun i spec ->
+      { spec with start_time = spec.start_time +. (float_of_int i *. step) })
+    specs

@@ -1,0 +1,79 @@
+(** A complete experiment description on the Figure-1 dumbbell: bottleneck
+    parameters, the set of connections (with their direction), and the
+    measurement window.
+
+    [Forward] connections source data on Host-1 (destination Host-2);
+    [Reverse] connections source on Host-2.  The paper's one-way
+    configurations use only [Forward] connections; two-way configurations
+    use both. *)
+
+type direction = Forward | Reverse
+
+type conn_spec = {
+  dir : direction;
+  algorithm : Tcp.Cong.algorithm;
+  start_time : float;
+  delayed_ack : bool;
+  ack_size : int;  (** bytes; 0 for the zero-length-ACK system *)
+  loss_detection : bool;
+  maxwnd : int;  (** receiver-advertised window; paper default 1000 *)
+  rto_params : Tcp.Rto.params;  (** timer behavior; default BSD 500 ms ticks *)
+  pacing : float option;
+      (** minimum spacing between data packets, s; [None] = nonpaced *)
+  rtt_skew : float;  (** extra one-way latency for this sender's data, s *)
+  flow_size : int option;  (** packets to transfer; [None] = infinite *)
+}
+
+(** Connection with paper defaults (Tahoe, modified CA, immediate ACKs,
+    50-byte ACKs, started at [start_time], default 0). *)
+val conn :
+  ?algorithm:Tcp.Cong.algorithm ->
+  ?start_time:float ->
+  ?delayed_ack:bool ->
+  ?ack_size:int ->
+  ?loss_detection:bool ->
+  ?maxwnd:int ->
+  ?rto_params:Tcp.Rto.params ->
+  ?pacing:float option ->
+  ?rtt_skew:float ->
+  ?flow_size:int option ->
+  direction ->
+  conn_spec
+
+(** Fixed-window connection: no congestion control, no loss detection
+    (used with infinite buffers, Figures 8-9). *)
+val fixed_conn :
+  ?start_time:float -> ?ack_size:int -> window:int -> direction -> conn_spec
+
+type t = {
+  name : string;
+  tau : float;  (** bottleneck propagation delay, s *)
+  buffer : int option;  (** bottleneck buffer, packets; [None] = infinite *)
+  gateway : Net.Discipline.kind;  (** bottleneck queueing discipline *)
+  conns : conn_spec list;
+  duration : float;  (** total simulated time, s *)
+  warmup : float;  (** measurements cover [warmup, duration) *)
+  sample_dt : float;  (** resampling grid for correlation analyses, s *)
+}
+
+val make :
+  name:string ->
+  tau:float ->
+  buffer:int option ->
+  ?gateway:Net.Discipline.kind ->
+  conns:conn_spec list ->
+  ?duration:float ->
+  ?warmup:float ->
+  ?sample_dt:float ->
+  unit ->
+  t
+
+(** Paper pipe size [P] for this scenario (packets per direction). *)
+val pipe : t -> float
+
+(** Bottleneck transmission time of a data packet (s). *)
+val data_tx : t -> float
+
+(** Stagger connection starts: spec [i] starts at [i * step] (plus its own
+    [start_time]).  Avoids perfectly tied phases at t = 0. *)
+val stagger : step:float -> conn_spec list -> conn_spec list

@@ -1,0 +1,88 @@
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  (* [heap.(0 .. size-1)] is a binary min-heap ordered by [(time, seq)]. *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let initial_capacity = 64
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let entry_before a b =
+  a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap q i j =
+  let tmp = q.heap.(i) in
+  q.heap.(i) <- q.heap.(j);
+  q.heap.(j) <- tmp
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_before q.heap.(i) q.heap.(parent) then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let left = (2 * i) + 1 in
+  let right = left + 1 in
+  let smallest = ref i in
+  if left < q.size && entry_before q.heap.(left) q.heap.(!smallest) then
+    smallest := left;
+  if right < q.size && entry_before q.heap.(right) q.heap.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    swap q i !smallest;
+    sift_down q !smallest
+  end
+
+let grow q entry =
+  let capacity = Array.length q.heap in
+  if q.size = capacity then begin
+    let new_capacity = max initial_capacity (2 * capacity) in
+    let heap = Array.make new_capacity entry in
+    Array.blit q.heap 0 heap 0 q.size;
+    q.heap <- heap
+  end
+
+let add q ~time payload =
+  if Float.is_nan time then invalid_arg "Event_queue.add: NaN time";
+  let entry = { time; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  grow q entry;
+  q.heap.(q.size) <- entry;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let peek q =
+  if q.size = 0 then None
+  else
+    let e = q.heap.(0) in
+    Some (e.time, e.payload)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let length q = q.size
+let is_empty q = q.size = 0
+let clear q = q.size <- 0
+
+let iter q ~f =
+  for i = 0 to q.size - 1 do
+    let e = q.heap.(i) in
+    f ~time:e.time e.payload
+  done

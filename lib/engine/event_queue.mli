@@ -1,0 +1,29 @@
+(** Priority queue of timestamped events.
+
+    A binary min-heap keyed on [(time, seq)] where [seq] is a strictly
+    increasing insertion counter, so events scheduled for the same instant
+    are delivered in insertion order.  Deterministic delivery order is what
+    makes simulation runs reproducible. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [add q ~time x] inserts [x] with priority [time].
+    @raise Invalid_argument if [time] is NaN. *)
+val add : 'a t -> time:float -> 'a -> unit
+
+(** Remove and return the earliest event, or [None] if empty. *)
+val pop : 'a t -> (float * 'a) option
+
+(** Earliest event without removing it. *)
+val peek : 'a t -> (float * 'a) option
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** Remove all events.  The insertion counter is preserved. *)
+val clear : 'a t -> unit
+
+(** Apply [f] to every queued event, in no particular order. *)
+val iter : 'a t -> f:(time:float -> 'a -> unit) -> unit

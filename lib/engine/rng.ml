@@ -1,0 +1,36 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+(* splitmix64 step: good statistical quality, trivially reproducible. *)
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let float t =
+  (* Use the top 53 bits to build a double in [0, 1). *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  int_of_float (float t *. float_of_int bound)
+
+let uniform t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.uniform: hi < lo";
+  lo +. ((hi -. lo) *. float t)
+
+let exponential t ~mean =
+  if mean <= 0. then invalid_arg "Rng.exponential: mean must be positive";
+  let u = float t in
+  (* [u] is in [0, 1); [1 - u] is in (0, 1] so the log is finite. *)
+  -.mean *. log (1. -. u)
+
+let split t =
+  let seed = Int64.to_int (next_int64 t) in
+  create ~seed

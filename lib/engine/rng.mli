@@ -1,0 +1,25 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Simulation runs must be exactly reproducible across machines, so we do
+    not use [Stdlib.Random]'s global state.  Each scenario owns an [Rng.t]
+    seeded from its configuration. *)
+
+type t
+
+val create : seed:int -> t
+
+(** Uniform in [\[0, 1)]. *)
+val float : t -> float
+
+(** Uniform integer in [\[0, bound)].  @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> bound:int -> int
+
+(** Uniform in [\[lo, hi)].  @raise Invalid_argument if [hi < lo]. *)
+val uniform : t -> lo:float -> hi:float -> float
+
+(** Exponentially distributed with the given mean.
+    @raise Invalid_argument if [mean <= 0]. *)
+val exponential : t -> mean:float -> float
+
+(** Derive an independent stream (for per-connection jitter). *)
+val split : t -> t

@@ -1,0 +1,68 @@
+type event = { action : unit -> unit; mutable cancelled : bool }
+type handle = { event : event; mutable fired : bool }
+
+type t = {
+  mutable clock : float;
+  mutable executed : int;
+  queue : handle Event_queue.t;
+}
+
+let create () = { clock = 0.; executed = 0; queue = Event_queue.create () }
+let now t = t.clock
+let events_run t = t.executed
+
+let at t ~time f =
+  if Float.is_nan time then invalid_arg "Sim.at: NaN time";
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.at: time %g is before current time %g" time t.clock);
+  let handle = { event = { action = f; cancelled = false }; fired = false } in
+  Event_queue.add t.queue ~time handle;
+  handle
+
+let schedule t ~delay f =
+  if Float.is_nan delay || delay < 0. then
+    invalid_arg "Sim.schedule: negative or NaN delay";
+  at t ~time:(t.clock +. delay) f
+
+let cancel handle = handle.event.cancelled <- true
+let pending handle = (not handle.fired) && not handle.event.cancelled
+
+let execute t handle =
+  handle.fired <- true;
+  if not handle.event.cancelled then begin
+    t.executed <- t.executed + 1;
+    handle.event.action ()
+  end
+
+let step t ~until =
+  match Event_queue.peek t.queue with
+  | None -> false
+  | Some (time, _) when time > until -> false
+  | Some _ ->
+    (match Event_queue.pop t.queue with
+     | None -> false
+     | Some (time, handle) ->
+       t.clock <- time;
+       execute t handle;
+       true)
+
+let run t ~until =
+  while step t ~until do
+    ()
+  done;
+  if t.clock < until then
+    (* The horizon was reached with an empty (or future-only) queue. *)
+    match Event_queue.peek t.queue with
+    | Some (time, _) when time <= until -> ()
+    | _ -> t.clock <- until
+
+let run_to_completion t =
+  let continue = ref true in
+  while !continue do
+    match Event_queue.pop t.queue with
+    | None -> continue := false
+    | Some (time, handle) ->
+      t.clock <- time;
+      execute t handle
+  done

@@ -1,0 +1,46 @@
+(** Discrete-event simulation driver.
+
+    Events are arbitrary [unit -> unit] closures executed at their scheduled
+    simulated time.  The clock only moves when the next event is dequeued;
+    within a single instant events run in the order they were scheduled. *)
+
+type t
+
+(** A handle on a scheduled event, usable to cancel it (e.g. TCP timers). *)
+type handle
+
+val create : unit -> t
+
+(** Current simulated time, in seconds.  Starts at [0.]. *)
+val now : t -> float
+
+(** Number of events executed so far. *)
+val events_run : t -> int
+
+(** [schedule t ~delay f] runs [f] at [now t +. delay].
+    @raise Invalid_argument if [delay] is negative or NaN. *)
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+
+(** [at t ~time f] runs [f] at absolute [time].
+    @raise Invalid_argument if [time] is in the past. *)
+val at : t -> time:float -> (unit -> unit) -> handle
+
+(** Cancel a scheduled event.  Cancelling an already-run or
+    already-cancelled event is a no-op. *)
+val cancel : handle -> unit
+
+(** Has this handle's event neither run nor been cancelled yet? *)
+val pending : handle -> bool
+
+(** Run events until the event queue empties or the clock would pass
+    [until].  On return [now t] is [until] if the horizon was reached,
+    otherwise the time of the last event executed. *)
+val run : t -> until:float -> unit
+
+(** Run every remaining event.  Intended for draining short simulations;
+    diverges if events keep scheduling more events forever. *)
+val run_to_completion : t -> unit
+
+(** Execute a single event if one is pending before [until].
+    Returns [false] when nothing was run. *)
+val step : t -> until:float -> bool

@@ -1,0 +1,18 @@
+let bits_of_bytes bytes = 8. *. float_of_int bytes
+
+let transmission_time ~bytes ~rate_bps =
+  if rate_bps <= 0. then invalid_arg "Units.transmission_time: rate <= 0";
+  bits_of_bytes bytes /. rate_bps
+
+let kbps x = x *. 1_000.
+let mbps x = x *. 1_000_000.
+let ms x = x /. 1_000.
+let usec x = x /. 1_000_000.
+
+let pipe_size ~rate_bps ~delay ~packet_bytes =
+  rate_bps *. delay /. bits_of_bytes packet_bytes
+
+let pp_time ppf t =
+  if Float.abs t >= 1. then Format.fprintf ppf "%.3fs" t
+  else if Float.abs t >= 1e-3 then Format.fprintf ppf "%.3fms" (t *. 1e3)
+  else Format.fprintf ppf "%.1fus" (t *. 1e6)

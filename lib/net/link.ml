@@ -1,0 +1,162 @@
+type counters = {
+  mutable enq_data : int;
+  mutable enq_ack : int;
+  mutable drop_data : int;
+  mutable drop_ack : int;
+  mutable dep_data : int;
+  mutable dep_ack : int;
+  mutable dep_bytes : int;
+}
+
+type t = {
+  sim : Engine.Sim.t;
+  id : int;
+  name : string;
+  src : int;
+  dst : int;
+  bandwidth : float;
+  prop_delay : float;
+  queue : Discipline.t;
+  mutable in_service : Packet.t option;
+  mutable deliver : Packet.t -> unit;
+  mutable busy_since : float;
+  mutable busy_accum : float;
+  counters : counters;
+  mutable enqueue_hooks : (float -> Packet.t -> int -> unit) list;
+  mutable drop_hooks : (float -> Packet.t -> unit) list;
+  mutable depart_hooks : (float -> Packet.t -> int -> unit) list;
+}
+
+let create ?(discipline = Discipline.Fifo) sim ~id ~name ~src ~dst ~bandwidth
+    ~prop_delay ~buffer =
+  if bandwidth <= 0. then invalid_arg "Link.create: bandwidth must be positive";
+  if prop_delay < 0. then invalid_arg "Link.create: negative propagation delay";
+  {
+    sim;
+    id;
+    name;
+    src;
+    dst;
+    bandwidth;
+    prop_delay;
+    queue = Discipline.create discipline ~capacity:buffer;
+    in_service = None;
+    deliver = (fun _ -> failwith "Link: deliver callback not set");
+    busy_since = 0.;
+    busy_accum = 0.;
+    counters =
+      {
+        enq_data = 0;
+        enq_ack = 0;
+        drop_data = 0;
+        drop_ack = 0;
+        dep_data = 0;
+        dep_ack = 0;
+        dep_bytes = 0;
+      };
+    enqueue_hooks = [];
+    drop_hooks = [];
+    depart_hooks = [];
+  }
+
+let set_deliver t f = t.deliver <- f
+let id t = t.id
+let name t = t.name
+let src t = t.src
+let dst t = t.dst
+let bandwidth t = t.bandwidth
+let prop_delay t = t.prop_delay
+let discipline t = Discipline.kind t.queue
+
+(* Buffer occupancy includes the packet being serialized, matching the
+   paper's capacity analysis C = floor(B + 2P). *)
+let queue_length t =
+  Discipline.length t.queue + (match t.in_service with Some _ -> 1 | None -> 0)
+
+let counters t = t.counters
+let total_drops t = t.counters.drop_data + t.counters.drop_ack
+
+let contents t =
+  match t.in_service with
+  | Some p -> p :: Discipline.contents t.queue
+  | None -> Discipline.contents t.queue
+
+let tx_time t ~bytes = Engine.Units.transmission_time ~bytes ~rate_bps:t.bandwidth
+
+let busy_time t ~now =
+  t.busy_accum
+  +. (match t.in_service with Some _ -> now -. t.busy_since | None -> 0.)
+
+let on_enqueue t f = t.enqueue_hooks <- f :: t.enqueue_hooks
+let on_drop t f = t.drop_hooks <- f :: t.drop_hooks
+let on_depart t f = t.depart_hooks <- f :: t.depart_hooks
+
+let fire_enqueue t p qlen =
+  List.iter (fun f -> f (Engine.Sim.now t.sim) p qlen) t.enqueue_hooks
+
+let fire_drop t p =
+  List.iter (fun f -> f (Engine.Sim.now t.sim) p) t.drop_hooks
+
+let fire_depart t p qlen =
+  List.iter (fun f -> f (Engine.Sim.now t.sim) p qlen) t.depart_hooks
+
+let count_enq t (p : Packet.t) =
+  match p.kind with
+  | Packet.Data -> t.counters.enq_data <- t.counters.enq_data + 1
+  | Packet.Ack -> t.counters.enq_ack <- t.counters.enq_ack + 1
+
+let count_drop t (p : Packet.t) =
+  match p.kind with
+  | Packet.Data -> t.counters.drop_data <- t.counters.drop_data + 1
+  | Packet.Ack -> t.counters.drop_ack <- t.counters.drop_ack + 1
+
+let rec maybe_start t =
+  if t.in_service = None then
+    match Discipline.dequeue t.queue with
+    | None -> ()
+    | Some p ->
+      t.in_service <- Some p;
+      t.busy_since <- Engine.Sim.now t.sim;
+      let tx = tx_time t ~bytes:p.Packet.size in
+      ignore
+        (Engine.Sim.schedule t.sim ~delay:tx (fun () -> finish t p)
+          : Engine.Sim.handle)
+
+and finish t p =
+  (match t.in_service with
+   | Some head when head == p -> ()
+   | _ -> failwith "Link: transmitter out of sync with queue");
+  let now = Engine.Sim.now t.sim in
+  t.busy_accum <- t.busy_accum +. (now -. t.busy_since);
+  t.in_service <- None;
+  (match p.Packet.kind with
+   | Packet.Data -> t.counters.dep_data <- t.counters.dep_data + 1
+   | Packet.Ack -> t.counters.dep_ack <- t.counters.dep_ack + 1);
+  t.counters.dep_bytes <- t.counters.dep_bytes + p.Packet.size;
+  fire_depart t p (queue_length t);
+  let deliver = t.deliver in
+  ignore
+    (Engine.Sim.schedule t.sim ~delay:t.prop_delay (fun () -> deliver p)
+      : Engine.Sim.handle);
+  maybe_start t
+
+let send t p =
+  let in_service = match t.in_service with Some _ -> 1 | None -> 0 in
+  match Discipline.enqueue t.queue p ~in_service with
+  | Discipline.Rejected ->
+    count_drop t p;
+    fire_drop t p;
+    `Dropped
+  | Discipline.Accepted ->
+    count_enq t p;
+    fire_enqueue t p (queue_length t);
+    maybe_start t;
+    `Ok
+  | Discipline.Evicted victim ->
+    (* The arrival was stored; a previously queued packet paid for it. *)
+    count_enq t p;
+    count_drop t victim;
+    fire_drop t victim;
+    fire_enqueue t p (queue_length t);
+    maybe_start t;
+    `Ok

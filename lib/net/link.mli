@@ -1,0 +1,77 @@
+(** A simplex link: an output buffer (under a {!Discipline}) plus a
+    transmitter.
+
+    The buffer occupancy counts the packet currently being serialized, which
+    matches the paper's capacity analysis [C = floor(B + 2P)] (the switch
+    buffer of size [B] includes the packet in service).  With the default
+    drop-tail FIFO discipline, an arrival to a full buffer is discarded;
+    Random Drop and Fair Queueing may instead evict a queued packet.
+
+    Monitor hooks fire synchronously: [on_enqueue] after a packet is
+    accepted, [on_drop] when one is discarded (the arrival, or the evicted
+    victim), [on_depart] when a packet finishes serialization and leaves
+    the queue.  Queue lengths passed to hooks are the lengths {e after}
+    the event. *)
+
+type t
+
+type counters = {
+  mutable enq_data : int;
+  mutable enq_ack : int;
+  mutable drop_data : int;
+  mutable drop_ack : int;
+  mutable dep_data : int;
+  mutable dep_ack : int;
+  mutable dep_bytes : int;
+}
+
+(** [create sim ~id ~name ~src ~dst ~bandwidth ~prop_delay ~buffer] makes an
+    idle link.  [buffer = None] means an infinite buffer; [discipline]
+    selects the gateway queueing discipline (default drop-tail {!Discipline.Fifo}).
+    The [deliver] callback (set with {!set_deliver}) receives each packet at
+    the far end, [prop_delay] seconds after its serialization completes. *)
+val create :
+  ?discipline:Discipline.kind ->
+  Engine.Sim.t ->
+  id:int ->
+  name:string ->
+  src:int ->
+  dst:int ->
+  bandwidth:float ->
+  prop_delay:float ->
+  buffer:int option ->
+  t
+
+val set_deliver : t -> (Packet.t -> unit) -> unit
+
+(** Offer a packet to the output buffer; returns whether it was accepted. *)
+val send : t -> Packet.t -> [ `Ok | `Dropped ]
+
+val id : t -> int
+val name : t -> string
+val src : t -> int
+val dst : t -> int
+val bandwidth : t -> float
+val prop_delay : t -> float
+
+(** The gateway discipline this link's buffer runs. *)
+val discipline : t -> Discipline.kind
+
+(** Current buffer occupancy (including the packet in service). *)
+val queue_length : t -> int
+
+(** Serialization time of [bytes] on this link. *)
+val tx_time : t -> bytes:int -> float
+
+(** Cumulative busy (serializing) time up to [now]. *)
+val busy_time : t -> now:float -> float
+
+val counters : t -> counters
+val total_drops : t -> int
+
+(** Buffer contents, head (in service) first. *)
+val contents : t -> Packet.t list
+
+val on_enqueue : t -> (float -> Packet.t -> int -> unit) -> unit
+val on_drop : t -> (float -> Packet.t -> unit) -> unit
+val on_depart : t -> (float -> Packet.t -> int -> unit) -> unit

@@ -1,0 +1,171 @@
+type node_kind = Host | Switch
+
+type node = {
+  node_id : int;
+  name : string;
+  kind : node_kind;
+  proc_delay : float;
+  mutable out : Link.t list;
+  routes : (int, Link.t) Hashtbl.t;
+  endpoints : (int, Packet.t -> unit) Hashtbl.t;
+}
+
+type t = {
+  sim : Engine.Sim.t;
+  mutable nodes : node list;  (* reverse order of creation *)
+  mutable node_array : node array;  (* rebuilt lazily for O(1) lookup *)
+  mutable array_stale : bool;
+  mutable all_links : Link.t list;  (* reverse order of creation *)
+  mutable next_link_id : int;
+  mutable next_packet_id : int;
+}
+
+let create sim =
+  {
+    sim;
+    nodes = [];
+    node_array = [||];
+    array_stale = false;
+    all_links = [];
+    next_link_id = 0;
+    next_packet_id = 0;
+  }
+
+let sim t = t.sim
+
+let refresh t =
+  if t.array_stale then begin
+    t.node_array <- Array.of_list (List.rev t.nodes);
+    t.array_stale <- false
+  end
+
+let node t id =
+  refresh t;
+  if id < 0 || id >= Array.length t.node_array then
+    invalid_arg (Printf.sprintf "Network: unknown node id %d" id);
+  t.node_array.(id)
+
+let add_node t ~name ~kind ~proc_delay =
+  refresh t;
+  let node_id = List.length t.nodes in
+  let n =
+    {
+      node_id;
+      name;
+      kind;
+      proc_delay;
+      out = [];
+      routes = Hashtbl.create 8;
+      endpoints = Hashtbl.create 8;
+    }
+  in
+  t.nodes <- n :: t.nodes;
+  t.array_stale <- true;
+  node_id
+
+let add_host t ~name ~proc_delay =
+  if proc_delay < 0. then invalid_arg "Network.add_host: negative proc_delay";
+  add_node t ~name ~kind:Host ~proc_delay
+
+let add_switch t ~name = add_node t ~name ~kind:Switch ~proc_delay:0.
+
+let node_count t =
+  refresh t;
+  Array.length t.node_array
+
+let node_name t id = (node t id).name
+let node_kind t id = (node t id).kind
+let links t = List.rev t.all_links
+let out_links t id = List.rev (node t id).out
+
+let set_route t ~node:n ~dst ~link = Hashtbl.replace (node t n).routes dst link
+let route t ~node:n ~dst = Hashtbl.find_opt (node t n).routes dst
+
+let register_endpoint t ~host ~conn handler =
+  let n = node t host in
+  if n.kind <> Host then invalid_arg "Network.register_endpoint: not a host";
+  Hashtbl.replace n.endpoints conn handler
+
+(* Packet arrival at a node, after the link's propagation delay. *)
+let rec arrive t node_id (p : Packet.t) =
+  let n = node t node_id in
+  match n.kind with
+  | Switch -> forward t n p
+  | Host ->
+    if p.dst <> node_id then
+      failwith
+        (Printf.sprintf "Network: host %s received packet for node %d" n.name
+           p.dst);
+    let handler =
+      match Hashtbl.find_opt n.endpoints p.conn with
+      | Some h -> h
+      | None ->
+        failwith
+          (Printf.sprintf "Network: no endpoint for conn %d at host %s" p.conn
+             n.name)
+    in
+    if n.proc_delay > 0. then
+      ignore
+        (Engine.Sim.schedule t.sim ~delay:n.proc_delay (fun () -> handler p)
+          : Engine.Sim.handle)
+    else handler p
+
+and forward _t n (p : Packet.t) =
+  match Hashtbl.find_opt n.routes p.dst with
+  | None ->
+    failwith
+      (Printf.sprintf "Network: switch %s has no route to node %d" n.name p.dst)
+  | Some link -> ignore (Link.send link p : [ `Ok | `Dropped ])
+
+let add_link ?(discipline = Discipline.Fifo) t ~src ~dst ~bandwidth
+    ~prop_delay ~buffer =
+  let src_node = node t src in
+  let _ = node t dst in
+  let id = t.next_link_id in
+  t.next_link_id <- id + 1;
+  let name =
+    Printf.sprintf "%s->%s" (node_name t src) (node_name t dst)
+  in
+  let link =
+    Link.create ~discipline t.sim ~id ~name ~src ~dst ~bandwidth ~prop_delay
+      ~buffer
+  in
+  Link.set_deliver link (fun p -> arrive t dst p);
+  src_node.out <- link :: src_node.out;
+  t.all_links <- link :: t.all_links;
+  link
+
+let add_duplex ?(discipline = Discipline.Fifo) t ~src ~dst ~bandwidth
+    ~prop_delay ~buffer =
+  let fwd = add_link ~discipline t ~src ~dst ~bandwidth ~prop_delay ~buffer in
+  let bwd =
+    add_link ~discipline t ~src:dst ~dst:src ~bandwidth ~prop_delay ~buffer
+  in
+  (fwd, bwd)
+
+let send_from_host t ~host (p : Packet.t) =
+  let n = node t host in
+  if n.kind <> Host then invalid_arg "Network.send_from_host: not a host";
+  match Hashtbl.find_opt n.routes p.dst with
+  | None ->
+    failwith
+      (Printf.sprintf "Network: host %s has no route to node %d" n.name p.dst)
+  | Some link -> ignore (Link.send link p : [ `Ok | `Dropped ])
+
+let fresh_packet_id t =
+  let id = t.next_packet_id in
+  t.next_packet_id <- id + 1;
+  id
+
+let make_packet t ~conn ~kind ~seq ~size ~src ~dst ~retransmit =
+  {
+    Packet.id = fresh_packet_id t;
+    conn;
+    kind;
+    seq;
+    size;
+    src;
+    dst;
+    born = Engine.Sim.now t.sim;
+    retransmit;
+  }

@@ -1,0 +1,28 @@
+(** Packets exchanged between hosts.
+
+    Following the paper, a connection's data stream is modeled in units of
+    maximum-size packets: a data packet carries the sequence number of the
+    packet itself, and an ACK carries the cumulative sequence number of the
+    next packet the receiver expects. *)
+
+type kind = Data | Ack
+
+type t = {
+  id : int;  (** unique per network, for logs *)
+  conn : int;  (** owning connection *)
+  kind : kind;
+  seq : int;
+      (** [Data]: index of this packet (0-based).
+          [Ack]: next expected data packet (cumulative). *)
+  size : int;  (** bytes, including headers *)
+  src : int;  (** source host node id *)
+  dst : int;  (** destination host node id *)
+  born : float;  (** creation time *)
+  retransmit : bool;  (** true if this data packet is a retransmission *)
+}
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit
+
+(** Is this packet of [Data] kind? *)
+val is_data : t -> bool

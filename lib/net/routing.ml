@@ -1,0 +1,49 @@
+(* BFS from each node: the first link on a shortest path to every
+   reachable host becomes the routing-table entry. *)
+let compute net =
+  let n = Network.node_count net in
+  for src = 0 to n - 1 do
+    let visited = Array.make n false in
+    let first_link : Link.t option array = Array.make n None in
+    visited.(src) <- true;
+    let frontier = Queue.create () in
+    Queue.push src frontier;
+    while not (Queue.is_empty frontier) do
+      let u = Queue.pop frontier in
+      let step link =
+        let v = Link.dst link in
+        if not visited.(v) then begin
+          visited.(v) <- true;
+          (first_link.(v) <-
+             (match first_link.(u) with
+              | None -> Some link  (* u = src: this link starts the path *)
+              | Some l -> Some l));
+          Queue.push v frontier
+        end
+      in
+      List.iter step (Network.out_links net u)
+    done;
+    for dst = 0 to n - 1 do
+      if dst <> src && Network.node_kind net dst = Network.Host then
+        match first_link.(dst) with
+        | Some link -> Network.set_route net ~node:src ~dst ~link
+        | None -> ()
+    done
+  done
+
+let path net ~src ~dst =
+  let limit = Network.node_count net + 1 in
+  let rec walk u acc steps =
+    if steps > limit then None  (* routing loop *)
+    else if u = dst then Some (List.rev (u :: acc))
+    else
+      match Network.route net ~node:u ~dst with
+      | None -> None
+      | Some link -> walk (Link.dst link) (u :: acc) (steps + 1)
+  in
+  walk src [] 0
+
+let path_length net ~src ~dst =
+  match path net ~src ~dst with
+  | None -> None
+  | Some nodes -> Some (List.length nodes - 1)

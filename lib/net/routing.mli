@@ -1,0 +1,16 @@
+(** Static shortest-path (minimum hop) routing.
+
+    [compute net] fills every node's routing table with, for each host
+    destination, the first link of a shortest path.  Ties are broken by
+    link-creation order, so routes are deterministic.  Call it once after
+    the topology is built. *)
+
+val compute : Network.t -> unit
+
+(** Hop count of the installed route from [src] to [dst], following
+    routing tables.  [None] if no route.  Useful for tests. *)
+val path_length : Network.t -> src:int -> dst:int -> int option
+
+(** The node ids visited from [src] to [dst] (inclusive of both ends),
+    following routing tables.  [None] if no route or a loop is detected. *)
+val path : Network.t -> src:int -> dst:int -> int list option

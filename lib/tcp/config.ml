@@ -1,0 +1,56 @@
+type t = {
+  conn : int;
+  src_host : int;
+  dst_host : int;
+  data_size : int;
+  ack_size : int;
+  maxwnd : int;
+  algorithm : Cong.algorithm;
+  start_time : float;
+  delayed_ack : bool;
+  delack_timeout : float;
+  dupack_threshold : int;
+  loss_detection : bool;
+  rto_params : Rto.params;
+  pacing : float option;
+  flow_size : int option;
+  rtt_skew : float;
+}
+
+let make ~conn ~src_host ~dst_host ?(data_size = 500) ?(ack_size = 50)
+    ?(maxwnd = 1000) ?(algorithm = Cong.Tahoe { modified_ca = true })
+    ?(start_time = 0.) ?(delayed_ack = false) ?(delack_timeout = 0.2)
+    ?(dupack_threshold = 3) ?(loss_detection = true)
+    ?(rto_params = Rto.default_params) ?(pacing = None) ?(flow_size = None)
+    ?(rtt_skew = 0.) () =
+  if data_size <= 0 then invalid_arg "Config.make: data_size must be positive";
+  if ack_size < 0 then invalid_arg "Config.make: negative ack_size";
+  if start_time < 0. then invalid_arg "Config.make: negative start_time";
+  if dupack_threshold < 1 then
+    invalid_arg "Config.make: dupack_threshold must be >= 1";
+  (match pacing with
+   | Some interval when interval <= 0. ->
+     invalid_arg "Config.make: pacing interval must be positive"
+   | _ -> ());
+  (match flow_size with
+   | Some n when n <= 0 -> invalid_arg "Config.make: flow_size must be positive"
+   | _ -> ());
+  if rtt_skew < 0. then invalid_arg "Config.make: negative rtt_skew";
+  {
+    conn;
+    src_host;
+    dst_host;
+    data_size;
+    ack_size;
+    maxwnd;
+    algorithm;
+    start_time;
+    delayed_ack;
+    delack_timeout;
+    dupack_threshold;
+    loss_detection;
+    rto_params;
+    pacing;
+    flow_size;
+    rtt_skew;
+  }

@@ -1,0 +1,111 @@
+type algorithm =
+  | Tahoe of { modified_ca : bool }
+  | Reno of { modified_ca : bool }
+  | Fixed of int
+
+let algorithm_to_string = function
+  | Tahoe { modified_ca } ->
+    if modified_ca then "tahoe" else "tahoe(original-ca)"
+  | Reno { modified_ca } -> if modified_ca then "reno" else "reno(original-ca)"
+  | Fixed w -> Printf.sprintf "fixed-%d" w
+
+type t = {
+  algorithm : algorithm;
+  maxwnd : int;
+  mutable cwnd : float;
+  mutable ssthresh : float;
+  mutable recovering : bool;
+}
+
+let initial_state t =
+  (match t.algorithm with
+   | Tahoe _ | Reno _ -> t.cwnd <- 1.
+   | Fixed w -> t.cwnd <- float_of_int w);
+  t.ssthresh <- float_of_int t.maxwnd;
+  t.recovering <- false
+
+let create ~algorithm ~maxwnd =
+  if maxwnd < 2 then invalid_arg "Cong.create: maxwnd must be >= 2";
+  (match algorithm with
+   | Fixed w when w < 1 -> invalid_arg "Cong.create: fixed window must be >= 1"
+   | _ -> ());
+  let t = { algorithm; maxwnd; cwnd = 1.; ssthresh = 1.; recovering = false } in
+  initial_state t;
+  t
+
+let algorithm t = t.algorithm
+let maxwnd t = t.maxwnd
+let cwnd t = t.cwnd
+let ssthresh t = t.ssthresh
+
+let wnd t =
+  match t.algorithm with
+  | Fixed w -> w
+  | Tahoe _ | Reno _ ->
+    max 1 (int_of_float (Float.min t.cwnd (float_of_int t.maxwnd)))
+
+let in_slow_start t = t.cwnd < t.ssthresh
+let in_recovery t = t.recovering
+
+let cap t = if t.cwnd > float_of_int t.maxwnd then t.cwnd <- float_of_int t.maxwnd
+
+let additive_increase t ~modified_ca =
+  if t.cwnd < t.ssthresh then t.cwnd <- t.cwnd +. 1.
+  else begin
+    let divisor = if modified_ca then Float.of_int (wnd t) else t.cwnd in
+    t.cwnd <- t.cwnd +. (1. /. divisor);
+    (* Accumulating 1/wnd in binary floating point can land a hair below
+       the integer (e.g. 9.999999999999996 after nine 1/9 steps), which
+       would break the modified algorithm's guarantee that floor(cwnd)
+       grows by exactly one per epoch.  Snap when within an ulp-scale
+       epsilon. *)
+    let nearest = Float.round t.cwnd in
+    if Float.abs (t.cwnd -. nearest) < 1e-9 then t.cwnd <- nearest
+  end;
+  cap t
+
+let on_ack t =
+  match t.algorithm with
+  | Fixed _ -> ()
+  | Tahoe { modified_ca } | Reno { modified_ca } ->
+    additive_increase t ~modified_ca
+
+let halve_ssthresh t =
+  let half = t.cwnd /. 2. in
+  t.ssthresh <- Float.max (Float.min half (float_of_int t.maxwnd)) 2.
+
+let on_timeout t =
+  match t.algorithm with
+  | Fixed _ -> ()
+  | Tahoe _ | Reno _ ->
+    halve_ssthresh t;
+    t.cwnd <- 1.;
+    t.recovering <- false
+
+let on_fast_retransmit t =
+  match t.algorithm with
+  | Fixed _ -> ()
+  | Tahoe _ -> on_timeout t
+  | Reno _ ->
+    halve_ssthresh t;
+    (* Inflate by the three duplicates that triggered the retransmission:
+       each signals a packet that left the network. *)
+    t.cwnd <- t.ssthresh +. 3.;
+    t.recovering <- true;
+    cap t
+
+let on_dup_ack t =
+  match t.algorithm with
+  | Reno _ when t.recovering ->
+    t.cwnd <- t.cwnd +. 1.;
+    cap t
+  | Reno _ | Tahoe _ | Fixed _ -> ()
+
+let on_recovery_exit t =
+  match t.algorithm with
+  | Reno _ when t.recovering ->
+    t.cwnd <- t.ssthresh;
+    t.recovering <- false
+  | Reno _ | Tahoe _ | Fixed _ -> ()
+
+let reset t = initial_state t

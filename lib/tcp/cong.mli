@@ -1,0 +1,69 @@
+(** Congestion-window state machine.
+
+    Window sizes are measured in units of maximum-size packets.
+
+    [Tahoe] is the BSD 4.3-Tahoe algorithm the paper studies (§2.1):
+
+    - on each ACK of new data:
+      [if cwnd < ssthresh then cwnd <- cwnd + 1          (* slow start *)
+       else cwnd <- cwnd + 1/cwnd]                       (* cong. avoid *)
+    - on detecting a packet loss (3rd duplicate ACK or timeout):
+      [ssthresh <- max (min (cwnd/2) maxwnd) 2; cwnd <- 1]
+
+    The paper replaces the avoidance increment by [1 / floor cwnd] so that
+    [floor cwnd] grows by exactly one per epoch; that variant is
+    [~modified_ca:true] (the default in all paper experiments).
+
+    [Reno] adds 4.3-Reno fast recovery (the successor the paper cites):
+    the third duplicate ACK sets [ssthresh] as above but inflates
+    [cwnd <- ssthresh + 3], each further duplicate ACK inflates by one
+    (every duplicate signals a departure), and the ACK of new data
+    deflates [cwnd <- ssthresh].  Timeouts still collapse to 1.
+
+    [Fixed w] is the fixed-window flow control of §4.2/Figures 8-9. *)
+
+type algorithm =
+  | Tahoe of { modified_ca : bool }
+  | Reno of { modified_ca : bool }
+  | Fixed of int
+
+val algorithm_to_string : algorithm -> string
+
+type t
+
+(** [create ~algorithm ~maxwnd] starts in slow start with [cwnd = 1] and
+    [ssthresh = maxwnd] (the initial slow start runs until the first
+    loss). *)
+val create : algorithm:algorithm -> maxwnd:int -> t
+
+val algorithm : t -> algorithm
+val maxwnd : t -> int
+val cwnd : t -> float
+val ssthresh : t -> float
+
+(** The usable window: [floor (min cwnd maxwnd)], at least 1 packet. *)
+val wnd : t -> int
+
+(** Is the connection in slow start ([cwnd < ssthresh])? *)
+val in_slow_start : t -> bool
+
+(** Is a Reno fast recovery in progress? Always false for Tahoe/Fixed. *)
+val in_recovery : t -> bool
+
+(** An ACK of new data arrived outside fast recovery. *)
+val on_ack : t -> unit
+
+(** Loss detected by the retransmission timer. *)
+val on_timeout : t -> unit
+
+(** Loss detected by the duplicate-ACK threshold. *)
+val on_fast_retransmit : t -> unit
+
+(** A duplicate ACK beyond the threshold (Reno window inflation). *)
+val on_dup_ack : t -> unit
+
+(** An ACK of new data arrived while in fast recovery (Reno deflation). *)
+val on_recovery_exit : t -> unit
+
+(** Reset to the initial state (new connection). *)
+val reset : t -> unit

@@ -1,0 +1,99 @@
+type t = {
+  net : Net.Network.t;
+  sim : Engine.Sim.t;
+  config : Config.t;
+  mutable rcv_nxt : int;
+  above_hole : (int, unit) Hashtbl.t;  (* out-of-order packets held back *)
+  mutable delack_pending : bool;
+  mutable delack_timer : Engine.Sim.handle option;
+  mutable data_received : int;
+  mutable out_of_order : int;
+  mutable duplicates : int;
+  mutable acks_sent : int;
+  mutable dup_acks_sent : int;
+  mutable last_ack : int;  (* last cumulative number ACKed, -1 if none *)
+}
+
+let create net config =
+  {
+    net;
+    sim = Net.Network.sim net;
+    config;
+    rcv_nxt = 0;
+    above_hole = Hashtbl.create 64;
+    delack_pending = false;
+    delack_timer = None;
+    data_received = 0;
+    out_of_order = 0;
+    duplicates = 0;
+    acks_sent = 0;
+    dup_acks_sent = 0;
+    last_ack = -1;
+  }
+
+let rcv_nxt t = t.rcv_nxt
+let data_received t = t.data_received
+let out_of_order t = t.out_of_order
+let duplicates t = t.duplicates
+let acks_sent t = t.acks_sent
+let dup_acks_sent t = t.dup_acks_sent
+let buffered t = Hashtbl.length t.above_hole
+
+let cancel_delack t =
+  (match t.delack_timer with Some h -> Engine.Sim.cancel h | None -> ());
+  t.delack_timer <- None;
+  t.delack_pending <- false
+
+let send_ack t =
+  t.acks_sent <- t.acks_sent + 1;
+  if t.rcv_nxt = t.last_ack then t.dup_acks_sent <- t.dup_acks_sent + 1;
+  t.last_ack <- t.rcv_nxt;
+  (* ACKs travel dst -> src: the receiver's host is the data destination. *)
+  let p =
+    Net.Network.make_packet t.net ~conn:t.config.Config.conn ~kind:Net.Packet.Ack
+      ~seq:t.rcv_nxt ~size:t.config.Config.ack_size
+      ~src:t.config.Config.dst_host ~dst:t.config.Config.src_host
+      ~retransmit:false
+  in
+  Net.Network.send_from_host t.net ~host:t.config.Config.dst_host p
+
+let ack_now t =
+  cancel_delack t;
+  send_ack t
+
+(* Delayed-ACK policy for an in-order arrival: the first packet only marks
+   an ACK as owed; the second packet (or the timer) releases it. *)
+let ack_in_order t =
+  if not t.config.Config.delayed_ack then send_ack t
+  else if t.delack_pending then ack_now t
+  else begin
+    t.delack_pending <- true;
+    t.delack_timer <-
+      Some
+        (Engine.Sim.schedule t.sim ~delay:t.config.Config.delack_timeout
+           (fun () ->
+             t.delack_timer <- None;
+             t.delack_pending <- false;
+             send_ack t))
+  end
+
+let on_data t (p : Net.Packet.t) =
+  t.data_received <- t.data_received + 1;
+  if p.seq = t.rcv_nxt then begin
+    t.rcv_nxt <- t.rcv_nxt + 1;
+    while Hashtbl.mem t.above_hole t.rcv_nxt do
+      Hashtbl.remove t.above_hole t.rcv_nxt;
+      t.rcv_nxt <- t.rcv_nxt + 1
+    done;
+    ack_in_order t
+  end
+  else if p.seq > t.rcv_nxt then begin
+    t.out_of_order <- t.out_of_order + 1;
+    if not (Hashtbl.mem t.above_hole p.seq) then
+      Hashtbl.add t.above_hole p.seq ();
+    ack_now t  (* duplicate ACK, sent immediately even with delayed ACK *)
+  end
+  else begin
+    t.duplicates <- t.duplicates + 1;
+    ack_now t
+  end

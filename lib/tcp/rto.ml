@@ -1,0 +1,67 @@
+type params = {
+  granularity : float;
+  min_timeout : float;
+  max_timeout : float;
+  initial_timeout : float;
+  max_backoff : int;
+}
+
+let default_params =
+  {
+    granularity = 0.5;
+    min_timeout = 1.0;
+    max_timeout = 64.0;
+    initial_timeout = 3.0;
+    max_backoff = 6;
+  }
+
+type t = {
+  params : params;
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable nsamples : int;
+  mutable backoff : int;
+}
+
+let create params =
+  if params.granularity < 0. then invalid_arg "Rto.create: negative granularity";
+  if params.min_timeout <= 0. || params.max_timeout < params.min_timeout then
+    invalid_arg "Rto.create: bad timeout bounds";
+  { params; srtt = 0.; rttvar = 0.; nsamples = 0; backoff = 0 }
+
+let sample t rtt =
+  if rtt < 0. || Float.is_nan rtt then invalid_arg "Rto.sample: bad RTT";
+  if t.nsamples = 0 then begin
+    t.srtt <- rtt;
+    t.rttvar <- rtt /. 2.
+  end
+  else begin
+    let err = rtt -. t.srtt in
+    t.srtt <- t.srtt +. (err /. 8.);
+    t.rttvar <- t.rttvar +. ((Float.abs err -. t.rttvar) /. 4.)
+  end;
+  t.nsamples <- t.nsamples + 1
+
+let srtt t = if t.nsamples = 0 then None else Some t.srtt
+let rttvar t = if t.nsamples = 0 then None else Some t.rttvar
+
+let round_up_to_tick t x =
+  let g = t.params.granularity in
+  if g <= 0. then x else g *. Float.of_int (int_of_float (ceil (x /. g)))
+
+let base_timeout t =
+  if t.nsamples = 0 then t.params.initial_timeout
+  else begin
+    let raw = t.srtt +. (4. *. t.rttvar) in
+    let ticked = round_up_to_tick t raw in
+    Float.max t.params.min_timeout (Float.min ticked t.params.max_timeout)
+  end
+
+let timeout t =
+  let scaled = base_timeout t *. Float.of_int (1 lsl t.backoff) in
+  Float.min scaled t.params.max_timeout
+
+let backoff t = t.backoff <- min (t.backoff + 1) t.params.max_backoff
+let reset_backoff t = t.backoff <- 0
+let backoff_count t = t.backoff
+let samples t = t.nsamples

@@ -1,0 +1,45 @@
+(** Retransmission-timeout estimation (Jacobson/Karn, BSD 4.3 flavor).
+
+    Smoothed RTT and mean deviation are updated per accepted sample:
+    [err = sample - srtt; srtt += err/8; rttvar += (|err| - rttvar)/4],
+    and the timeout is [srtt + 4*rttvar], rounded {e up} to the timer
+    granularity (BSD used 500 ms ticks) and clamped to
+    [\[min_timeout, max_timeout\]].  Retransmission backoff doubles the
+    timeout per consecutive timeout (capped) and is cleared when new data
+    is acknowledged.  Karn's rule — never sample a retransmitted segment —
+    is enforced by the caller ({!Sender}), which simply does not feed
+    such samples. *)
+
+type params = {
+  granularity : float;  (** timer tick, s; BSD: 0.5 *)
+  min_timeout : float;  (** s; BSD: 1.0 *)
+  max_timeout : float;  (** s; BSD: 64.0 *)
+  initial_timeout : float;  (** before any sample; s *)
+  max_backoff : int;  (** max doublings *)
+}
+
+val default_params : params
+
+type t
+
+val create : params -> t
+
+(** Feed an RTT measurement (seconds). *)
+val sample : t -> float -> unit
+
+val srtt : t -> float option
+val rttvar : t -> float option
+
+(** Current timeout including backoff. *)
+val timeout : t -> float
+
+(** Double the next timeout (called on expiry). *)
+val backoff : t -> unit
+
+(** Clear backoff (called when new data is acknowledged). *)
+val reset_backoff : t -> unit
+
+val backoff_count : t -> int
+
+(** Number of samples accepted. *)
+val samples : t -> int

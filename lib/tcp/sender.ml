@@ -1,0 +1,251 @@
+type loss_reason = Dup_ack | Timeout
+
+type t = {
+  net : Net.Network.t;
+  sim : Engine.Sim.t;
+  config : Config.t;
+  cong : Cong.t;
+  rto : Rto.t;
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable highest_sent : int;  (* largest seq ever transmitted; -1 if none *)
+  mutable dup_acks : int;
+  mutable timer : Engine.Sim.handle option;
+  mutable timing : (int * float) option;  (* (seq, send time) being timed *)
+  mutable next_send : float;  (* pacing: earliest permitted injection *)
+  mutable pacer : Engine.Sim.handle option;
+  mutable data_sent : int;
+  mutable retransmits : int;
+  mutable timeouts : int;
+  mutable fast_retransmits : int;
+  mutable cwnd_hooks : (float -> cwnd:float -> ssthresh:float -> unit) list;
+  mutable loss_hooks : (float -> loss_reason -> unit) list;
+  mutable send_hooks : (float -> Net.Packet.t -> unit) list;
+  mutable completed_at : float option;  (* sized flow fully acknowledged *)
+  mutable complete_hooks : (float -> unit) list;
+}
+
+let create net config =
+  {
+    net;
+    sim = Net.Network.sim net;
+    config;
+    cong = Cong.create ~algorithm:config.Config.algorithm
+        ~maxwnd:config.Config.maxwnd;
+    rto = Rto.create config.Config.rto_params;
+    snd_una = 0;
+    snd_nxt = 0;
+    highest_sent = -1;
+    dup_acks = 0;
+    timer = None;
+    timing = None;
+    next_send = 0.;
+    pacer = None;
+    data_sent = 0;
+    retransmits = 0;
+    timeouts = 0;
+    fast_retransmits = 0;
+    cwnd_hooks = [];
+    loss_hooks = [];
+    send_hooks = [];
+    completed_at = None;
+    complete_hooks = [];
+  }
+
+let config t = t.config
+let cong t = t.cong
+let cwnd t = Cong.cwnd t.cong
+let ssthresh t = Cong.ssthresh t.cong
+let snd_una t = t.snd_una
+let snd_nxt t = t.snd_nxt
+let outstanding t = t.snd_nxt - t.snd_una
+let rto t = t.rto
+let data_sent t = t.data_sent
+let retransmits t = t.retransmits
+let timeouts t = t.timeouts
+let fast_retransmits t = t.fast_retransmits
+let on_cwnd t f = t.cwnd_hooks <- f :: t.cwnd_hooks
+let on_loss t f = t.loss_hooks <- f :: t.loss_hooks
+let on_send t f = t.send_hooks <- f :: t.send_hooks
+let on_complete t f = t.complete_hooks <- f :: t.complete_hooks
+let completed_at t = t.completed_at
+let completed t = t.completed_at <> None
+
+(* Last packet of a sized flow (exclusive), or max_int for infinite data. *)
+let flow_limit t =
+  match t.config.Config.flow_size with Some n -> n | None -> max_int
+
+let now t = Engine.Sim.now t.sim
+
+let fire_cwnd t =
+  let time = now t in
+  List.iter
+    (fun f -> f time ~cwnd:(Cong.cwnd t.cong) ~ssthresh:(Cong.ssthresh t.cong))
+    t.cwnd_hooks
+
+let fire_loss t reason =
+  let time = now t in
+  List.iter (fun f -> f time reason) t.loss_hooks
+
+let cancel_timer t =
+  (match t.timer with Some h -> Engine.Sim.cancel h | None -> ());
+  t.timer <- None
+
+let rec arm_timer t =
+  cancel_timer t;
+  if t.config.Config.loss_detection then begin
+    let delay = Rto.timeout t.rto in
+    t.timer <- Some (Engine.Sim.schedule t.sim ~delay (fun () -> on_timeout t))
+  end
+
+and on_timeout t =
+  t.timer <- None;
+  if t.snd_una < t.snd_nxt then begin
+    t.timeouts <- t.timeouts + 1;
+    Rto.backoff t.rto;
+    (* BSD zeroes the dup-ACK counter on timeout (but NOT on fast
+       retransmit: there the counter keeps climbing past the threshold so
+       the remaining duplicate ACKs of the old window cannot re-trigger). *)
+    t.dup_acks <- 0;
+    handle_loss t Timeout
+  end
+
+and handle_loss t reason =
+  fire_loss t reason;
+  (match reason with
+   | Timeout ->
+     Cong.on_timeout t.cong;
+     fire_cwnd t;
+     t.timing <- None;  (* Karn: no sample spans the retransmission *)
+     (* Timeout recovery is go-back-N: resume from the hole. *)
+     t.snd_nxt <- t.snd_una;
+     try_send t
+   | Dup_ack ->
+     Cong.on_fast_retransmit t.cong;
+     fire_cwnd t;
+     t.timing <- None;
+     (* Fast retransmit (both Tahoe and Reno) resends only the missing
+        segment and then restores snd_nxt, so the packets that were in
+        flight are not transmitted again (their duplicate ACKs must not be
+        able to feed another recovery). *)
+     let old_nxt = t.snd_nxt in
+     send_one t t.snd_una;
+     t.snd_nxt <- max old_nxt (t.snd_una + 1);
+     (* Reno's inflated window may admit new data during recovery. *)
+     try_send t);
+  arm_timer t
+
+and try_send t =
+  match t.config.Config.pacing with
+  | None ->
+    (* Nonpaced: inject immediately while the window has room. *)
+    let limit = min (t.snd_una + Cong.wnd t.cong) (flow_limit t) in
+    while t.snd_nxt < limit do
+      send_one t t.snd_nxt;
+      t.snd_nxt <- t.snd_nxt + 1
+    done
+  | Some interval -> paced_send t interval
+
+(* Paced transmission: at most one data packet per [interval], surplus
+   window permission is spent by a self-rescheduling pacer event. *)
+and paced_send t interval =
+  let limit = min (t.snd_una + Cong.wnd t.cong) (flow_limit t) in
+  if t.snd_nxt < limit then begin
+    let now_ = now t in
+    if now_ +. 1e-12 >= t.next_send then begin
+      send_one t t.snd_nxt;
+      t.snd_nxt <- t.snd_nxt + 1;
+      t.next_send <- now_ +. interval
+    end;
+    if t.snd_nxt < limit then arm_pacer t interval
+  end
+
+and arm_pacer t interval =
+  let pending =
+    match t.pacer with Some h -> Engine.Sim.pending h | None -> false
+  in
+  if not pending then begin
+    let delay = Float.max 0. (t.next_send -. now t) in
+    t.pacer <-
+      Some
+        (Engine.Sim.schedule t.sim ~delay (fun () ->
+             t.pacer <- None;
+             paced_send t interval))
+  end
+
+and send_one t seq =
+  let retransmit = seq <= t.highest_sent in
+  if retransmit then t.retransmits <- t.retransmits + 1
+  else begin
+    t.data_sent <- t.data_sent + 1;
+    t.highest_sent <- seq
+  end;
+  if t.timing = None && not retransmit then t.timing <- Some (seq, now t);
+  let p =
+    Net.Network.make_packet t.net ~conn:t.config.Config.conn ~kind:Net.Packet.Data
+      ~seq ~size:t.config.Config.data_size ~src:t.config.Config.src_host
+      ~dst:t.config.Config.dst_host ~retransmit
+  in
+  let time = now t in
+  List.iter (fun f -> f time p) t.send_hooks;
+  let inject () =
+    Net.Network.send_from_host t.net ~host:t.config.Config.src_host p
+  in
+  (* A constant per-connection skew stretches this sender's RTT without
+     reordering its packets (it models a longer access path). *)
+  let skew = t.config.Config.rtt_skew in
+  if skew > 0. then
+    ignore (Engine.Sim.schedule t.sim ~delay:skew inject : Engine.Sim.handle)
+  else inject ();
+  if t.timer = None then arm_timer t
+
+let start t = try_send t
+
+let on_ack t (p : Net.Packet.t) =
+  let ackno = p.seq in
+  if ackno > t.snd_una then begin
+    (* New data acknowledged. *)
+    (match t.timing with
+     | Some (seq, sent_at) when ackno > seq ->
+       Rto.sample t.rto (now t -. sent_at);
+       t.timing <- None
+     | _ -> ());
+    Rto.reset_backoff t.rto;
+    t.snd_una <- ackno;
+    (* A cumulative ACK during go-back-N recovery can overtake snd_nxt
+       (the receiver had buffered the packets above the hole); never send
+       below snd_una again. *)
+    if t.snd_nxt < t.snd_una then t.snd_nxt <- t.snd_una;
+    t.dup_acks <- 0;
+    if Cong.in_recovery t.cong then Cong.on_recovery_exit t.cong
+    else Cong.on_ack t.cong;
+    fire_cwnd t;
+    if t.snd_una >= t.snd_nxt then cancel_timer t else arm_timer t;
+    (match t.config.Config.flow_size with
+     | Some n when t.snd_una >= n && t.completed_at = None ->
+       t.completed_at <- Some (now t);
+       cancel_timer t;
+       let time = now t in
+       List.iter (fun f -> f time) t.complete_hooks
+     | _ -> ());
+    try_send t
+  end
+  else if ackno = t.snd_una && t.snd_nxt > t.snd_una then begin
+    t.dup_acks <- t.dup_acks + 1;
+    if t.config.Config.loss_detection then begin
+      if t.dup_acks = t.config.Config.dupack_threshold then begin
+        t.fast_retransmits <- t.fast_retransmits + 1;
+        handle_loss t Dup_ack
+      end
+      else if t.dup_acks > t.config.Config.dupack_threshold
+              && Cong.in_recovery t.cong
+      then begin
+        (* Reno: every further duplicate means a packet left the network;
+           inflate and possibly transmit new data. *)
+        Cong.on_dup_ack t.cong;
+        fire_cwnd t;
+        try_send t
+      end
+    end
+  end
+(* ackno < snd_una: stale ACK from before a recovery; ignore. *)

@@ -1,0 +1,20 @@
+type t = { conn : int; cwnd : Series.t; ssthresh : Series.t }
+
+let attach sender ~now =
+  let t =
+    {
+      conn = (Tcp.Sender.config sender).Tcp.Config.conn;
+      cwnd = Series.create ();
+      ssthresh = Series.create ();
+    }
+  in
+  Series.add t.cwnd ~time:now ~value:(Tcp.Sender.cwnd sender);
+  Series.add t.ssthresh ~time:now ~value:(Tcp.Sender.ssthresh sender);
+  Tcp.Sender.on_cwnd sender (fun time ~cwnd ~ssthresh ->
+      Series.add t.cwnd ~time ~value:cwnd;
+      Series.add t.ssthresh ~time ~value:ssthresh);
+  t
+
+let cwnd t = t.cwnd
+let ssthresh t = t.ssthresh
+let conn t = t.conn

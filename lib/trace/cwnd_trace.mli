@@ -1,0 +1,11 @@
+(** Records a sender's congestion window (and [ssthresh]) as step series,
+    reproducing the cwnd graphs of Figures 2, 5 and 7. *)
+
+type t
+
+val attach : Tcp.Sender.t -> now:float -> t
+val cwnd : t -> Series.t
+val ssthresh : t -> Series.t
+
+(** The sender's connection id. *)
+val conn : t -> int

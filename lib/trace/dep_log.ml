@@ -1,0 +1,17 @@
+type record = { time : float; conn : int; kind : Net.Packet.kind; seq : int }
+
+type t = { link : Net.Link.t; mutable records : record list (* newest first *) }
+
+let attach link =
+  let t = { link; records = [] } in
+  Net.Link.on_depart link (fun time (p : Net.Packet.t) _qlen ->
+      t.records <- { time; conn = p.conn; kind = p.kind; seq = p.seq } :: t.records);
+  t
+
+let link t = t.link
+let records t = List.rev t.records
+
+let in_window t ~t0 ~t1 =
+  List.filter (fun r -> r.time >= t0 && r.time < t1) (records t)
+
+let total t = List.length t.records

@@ -1,0 +1,16 @@
+(** Log of packet departures from a link, the raw material for the
+    clustering and ACK-compression analyses (§3.1, §4.2): which
+    connection's packet left the bottleneck, of which kind, and when. *)
+
+type record = { time : float; conn : int; kind : Net.Packet.kind; seq : int }
+
+type t
+
+val attach : Net.Link.t -> t
+val link : t -> Net.Link.t
+
+(** Departures in chronological order. *)
+val records : t -> record list
+
+val in_window : t -> t0:float -> t1:float -> record list
+val total : t -> int

@@ -1,0 +1,31 @@
+type record = {
+  time : float;
+  conn : int;
+  kind : Net.Packet.kind;
+  seq : int;
+  link : int;
+}
+
+type t = { mutable records : record list (* newest first *) }
+
+let create () = { records = [] }
+
+let watch t link =
+  Net.Link.on_drop link (fun time (p : Net.Packet.t) ->
+      t.records <-
+        { time; conn = p.conn; kind = p.kind; seq = p.seq;
+          link = Net.Link.id link }
+        :: t.records)
+
+let records t = List.rev t.records
+
+let in_window t ~t0 ~t1 =
+  List.filter (fun r -> r.time >= t0 && r.time < t1) (records t)
+
+let total t = List.length t.records
+
+let data_drops t =
+  List.length (List.filter (fun r -> r.kind = Net.Packet.Data) t.records)
+
+let ack_drops t =
+  List.length (List.filter (fun r -> r.kind = Net.Packet.Ack) t.records)

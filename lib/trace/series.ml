@@ -1,0 +1,122 @@
+type t = {
+  mutable times : float array;
+  mutable values : float array;
+  mutable len : int;
+}
+
+let create () = { times = [||]; values = [||]; len = 0 }
+
+let grow t =
+  if t.len = Array.length t.times then begin
+    let capacity = max 64 (2 * t.len) in
+    let times = Array.make capacity 0. in
+    let values = Array.make capacity 0. in
+    Array.blit t.times 0 times 0 t.len;
+    Array.blit t.values 0 values 0 t.len;
+    t.times <- times;
+    t.values <- values
+  end
+
+let add t ~time ~value =
+  if t.len > 0 && time < t.times.(t.len - 1) then
+    invalid_arg "Series.add: time went backwards";
+  grow t;
+  t.times.(t.len) <- time;
+  t.values.(t.len) <- value;
+  t.len <- t.len + 1
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Series.get: index out of range";
+  (t.times.(i), t.values.(i))
+
+let iter t ~f =
+  for i = 0 to t.len - 1 do
+    f ~time:t.times.(i) ~value:t.values.(i)
+  done
+
+let to_list t =
+  let rec collect i acc =
+    if i < 0 then acc else collect (i - 1) ((t.times.(i), t.values.(i)) :: acc)
+  in
+  collect (t.len - 1) []
+
+let of_list samples =
+  let t = create () in
+  List.iter (fun (time, value) -> add t ~time ~value) samples;
+  t
+
+(* Index of the last sample with time <= [time], or -1. *)
+let index_at t time =
+  if t.len = 0 || time < t.times.(0) then -1
+  else begin
+    (* Binary search for the rightmost index with times.(i) <= time. *)
+    let lo = ref 0 and hi = ref (t.len - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if t.times.(mid) <= time then lo := mid else hi := mid - 1
+    done;
+    !lo
+  end
+
+let value_at t ~time =
+  let i = index_at t time in
+  if i < 0 then None else Some t.values.(i)
+
+let resample t ~t0 ~t1 ~dt =
+  if t.len = 0 then invalid_arg "Series.resample: empty series";
+  if dt <= 0. then invalid_arg "Series.resample: dt must be positive";
+  if t1 <= t0 then invalid_arg "Series.resample: empty interval";
+  let n = int_of_float (ceil ((t1 -. t0) /. dt -. 1e-9)) in
+  Array.init n (fun k ->
+      let time = t0 +. (dt *. float_of_int k) in
+      match value_at t ~time with None -> t.values.(0) | Some v -> v)
+
+let window t ~t0 ~t1 =
+  let acc = ref [] in
+  for i = t.len - 1 downto 0 do
+    if t.times.(i) >= t0 && t.times.(i) < t1 then
+      acc := (t.times.(i), t.values.(i)) :: !acc
+  done;
+  !acc
+
+let min_max t ~t0 ~t1 =
+  if t.len = 0 || t.times.(0) > t1 then None
+  else begin
+    let start = max 0 (index_at t t0) in
+    let lo = ref t.values.(start) and hi = ref t.values.(start) in
+    let i = ref start in
+    while !i < t.len && t.times.(!i) <= t1 do
+      let v = t.values.(!i) in
+      if v < !lo then lo := v;
+      if v > !hi then hi := v;
+      incr i
+    done;
+    Some (!lo, !hi)
+  end
+
+let mean t ~t0 ~t1 =
+  if t.len = 0 || t.times.(0) > t1 || t1 <= t0 then None
+  else begin
+    let total = ref 0. in
+    let start = max 0 (index_at t t0) in
+    let i = ref start in
+    let prev_time = ref t0 in
+    let prev_value = ref t.values.(start) in
+    (* Walk samples strictly inside the window, accumulating value*dt. *)
+    incr i;
+    while !i < t.len && t.times.(!i) < t1 do
+      if t.times.(!i) > t0 then begin
+        let time = Float.max t0 t.times.(!i) in
+        total := !total +. (!prev_value *. (time -. !prev_time));
+        prev_time := time;
+        prev_value := t.values.(!i)
+      end
+      else prev_value := t.values.(!i);
+      incr i
+    done;
+    total := !total +. (!prev_value *. (t1 -. !prev_time));
+    Some (!total /. (t1 -. t0))
+  end

@@ -1,0 +1,51 @@
+type record = {
+  time : float;
+  conn : int;
+  kind : Net.Packet.kind;
+  sojourn : float;
+}
+
+type t = {
+  link : Net.Link.t;
+  entered : (int, float) Hashtbl.t;  (* packet id -> enqueue time *)
+  mutable records : record list;  (* newest first *)
+}
+
+let attach link =
+  let t = { link; entered = Hashtbl.create 64; records = [] } in
+  Net.Link.on_enqueue link (fun time (p : Net.Packet.t) _qlen ->
+      Hashtbl.replace t.entered p.id time);
+  Net.Link.on_drop link (fun _time (p : Net.Packet.t) ->
+      (* A random-drop or FQ eviction can remove an already-entered packet. *)
+      Hashtbl.remove t.entered p.id);
+  Net.Link.on_depart link (fun time (p : Net.Packet.t) _qlen ->
+      match Hashtbl.find_opt t.entered p.id with
+      | None -> ()
+      | Some entered ->
+        Hashtbl.remove t.entered p.id;
+        t.records <-
+          { time; conn = p.conn; kind = p.kind; sojourn = time -. entered }
+          :: t.records);
+  t
+
+let link t = t.link
+let records t = List.rev t.records
+
+let in_window t ~t0 ~t1 =
+  List.filter (fun r -> r.time >= t0 && r.time < t1) (records t)
+
+let mean_sojourn t ~kind ~t0 ~t1 =
+  let matching =
+    List.filter (fun r -> r.kind = kind) (in_window t ~t0 ~t1)
+  in
+  match matching with
+  | [] -> None
+  | _ ->
+    let total = List.fold_left (fun acc r -> acc +. r.sojourn) 0. matching in
+    Some (total /. float_of_int (List.length matching))
+
+let effective_pipe_packets t ~data_tx ~t0 ~t1 =
+  if data_tx <= 0. then invalid_arg "Sojourn_trace: data_tx must be positive";
+  match mean_sojourn t ~kind:Net.Packet.Ack ~t0 ~t1 with
+  | None -> None
+  | Some mean -> Some (mean /. data_tx)

@@ -1,0 +1,38 @@
+(** Per-packet queueing delay (sojourn) on a link.
+
+    The paper's explanation of the residual idle time (§4.2, §4.3.1) is
+    the {e effective pipe}: "whenever an ACK packet has to wait in a
+    queue, the queueing delay has the same effect as increasing the pipe
+    size".  This trace records, for each packet that leaves the link, how
+    long it spent in the buffer (from acceptance to the end of its
+    serialization), so that ACK queueing — and hence the effective pipe —
+    can be measured directly. *)
+
+type record = {
+  time : float;  (** departure time *)
+  conn : int;
+  kind : Net.Packet.kind;
+  sojourn : float;  (** seconds in the buffer, serialization included *)
+}
+
+type t
+
+val attach : Net.Link.t -> t
+val link : t -> Net.Link.t
+
+(** Departures in chronological order. *)
+val records : t -> record list
+
+val in_window : t -> t0:float -> t1:float -> record list
+
+(** Mean sojourn of packets of [kind] within the window.  [None] if there
+    were none. *)
+val mean_sojourn :
+  t -> kind:Net.Packet.kind -> t0:float -> t1:float -> float option
+
+(** The §4.2 effective-pipe contribution: mean ACK sojourn divided by
+    [data_tx] (the data transmission time), i.e. how many extra
+    packet-slots of pipe the queued ACKs add.  [None] if no ACKs
+    departed. *)
+val effective_pipe_packets :
+  t -> data_tx:float -> t0:float -> t1:float -> float option

@@ -1,0 +1,10 @@
+type t = { link : Net.Link.t; t0 : float; busy0 : float }
+
+let start link ~now = { link; t0 = now; busy0 = Net.Link.busy_time link ~now }
+let link t = t.link
+
+let busy_time t ~now =
+  if now <= t.t0 then invalid_arg "Util_meter: empty measurement window";
+  Net.Link.busy_time t.link ~now -. t.busy0
+
+let utilization t ~now = busy_time t ~now /. (now -. t.t0)

@@ -1,0 +1,19 @@
+(** Link utilization over a measurement window.
+
+    Utilization is the fraction of wall-clock time the link's transmitter
+    is busy — the measure the paper quotes (e.g. "the utilization on the
+    line is roughly 91%"). *)
+
+type t
+
+(** Start measuring [link] at time [now]. *)
+val start : Net.Link.t -> now:float -> t
+
+val link : t -> Net.Link.t
+
+(** Busy fraction between [start] and [now].
+    @raise Invalid_argument if [now] is not after the start time. *)
+val utilization : t -> now:float -> float
+
+(** Busy seconds between [start] and [now]. *)
+val busy_time : t -> now:float -> float

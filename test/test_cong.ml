@@ -1,0 +1,146 @@
+open Tcp
+
+let tahoe ?(modified_ca = true) ?(maxwnd = 1000) () =
+  Cong.create ~algorithm:(Cong.Tahoe { modified_ca }) ~maxwnd
+
+let test_initial_state () =
+  let c = tahoe () in
+  Alcotest.(check (float 0.)) "cwnd starts at 1" 1. (Cong.cwnd c);
+  Alcotest.(check (float 0.)) "ssthresh starts at maxwnd" 1000. (Cong.ssthresh c);
+  Alcotest.(check int) "wnd" 1 (Cong.wnd c);
+  Alcotest.(check bool) "slow start" true (Cong.in_slow_start c)
+
+let test_slow_start_exponential () =
+  (* One ACK per outstanding packet: cwnd doubles per epoch. *)
+  let c = tahoe () in
+  let acks_per_epoch = ref 1 in
+  for _epoch = 1 to 5 do
+    for _ = 1 to !acks_per_epoch do Cong.on_ack c done;
+    acks_per_epoch := Cong.wnd c
+  done;
+  Alcotest.(check int) "cwnd after 5 doubling epochs" 32 (Cong.wnd c)
+
+let test_congestion_avoidance_modified () =
+  (* Above ssthresh, floor(cwnd) grows by exactly one per window's worth
+     of ACKs (the paper's modified increment). *)
+  let c = tahoe ~modified_ca:true () in
+  Cong.on_ack c;  (* 2 *)
+  Cong.on_timeout c; (* ssthresh = 2, cwnd = 1 *)
+  Cong.on_ack c;  (* slow start: 2 = ssthresh *)
+  Alcotest.(check int) "at threshold" 2 (Cong.wnd c);
+  (* now in CA: 2 ACKs (one window) must lift wnd to exactly 3 *)
+  Cong.on_ack c;
+  Cong.on_ack c;
+  Alcotest.(check int) "one window of acks -> +1" 3 (Cong.wnd c);
+  (* 3 more ACKs -> 4 *)
+  Cong.on_ack c;
+  Cong.on_ack c;
+  Cong.on_ack c;
+  Alcotest.(check int) "next window -> +1 again" 4 (Cong.wnd c)
+
+let test_congestion_avoidance_unmodified () =
+  (* The original increment 1/cwnd shows the anomaly: after one window of
+     ACKs, floor(cwnd) may not have increased. *)
+  let c = tahoe ~modified_ca:false () in
+  Cong.on_ack c;
+  Cong.on_timeout c;
+  Cong.on_ack c;
+  (* in CA at cwnd = 2.0; two ACKs of 1/cwnd each give < 3.0 *)
+  Cong.on_ack c;
+  Cong.on_ack c;
+  Alcotest.(check bool) "still below 3" true (Cong.cwnd c < 3.);
+  Alcotest.(check int) "floor still 2 (the anomaly)" 2 (Cong.wnd c)
+
+let test_loss_halves () =
+  let c = tahoe () in
+  for _ = 1 to 39 do Cong.on_ack c done;
+  (* cwnd = 40, slow start *)
+  Alcotest.(check (float 1e-9)) "grown" 40. (Cong.cwnd c);
+  Cong.on_timeout c;
+  Alcotest.(check (float 1e-9)) "ssthresh = cwnd/2" 20. (Cong.ssthresh c);
+  Alcotest.(check (float 1e-9)) "cwnd reset" 1. (Cong.cwnd c)
+
+let test_double_loss_floor () =
+  (* The paper's footnote 9: a second loss with cwnd still 1 drives
+     ssthresh to its minimum of 2. *)
+  let c = tahoe () in
+  for _ = 1 to 30 do Cong.on_ack c done;
+  Cong.on_timeout c;
+  Cong.on_timeout c;
+  Alcotest.(check (float 0.)) "ssthresh floored at 2" 2. (Cong.ssthresh c);
+  Alcotest.(check (float 0.)) "cwnd 1" 1. (Cong.cwnd c)
+
+let test_maxwnd_cap () =
+  let c = tahoe ~maxwnd:8 () in
+  for _ = 1 to 50 do Cong.on_ack c done;
+  Alcotest.(check bool) "cwnd capped" true (Cong.cwnd c <= 8.);
+  Alcotest.(check int) "wnd capped" 8 (Cong.wnd c)
+
+let test_fixed_window () =
+  let c = Cong.create ~algorithm:(Cong.Fixed 30) ~maxwnd:1000 in
+  Alcotest.(check int) "fixed wnd" 30 (Cong.wnd c);
+  Cong.on_ack c;
+  Cong.on_timeout c;
+  Alcotest.(check int) "immutable" 30 (Cong.wnd c)
+
+let test_reset () =
+  let c = tahoe () in
+  for _ = 1 to 10 do Cong.on_ack c done;
+  Cong.on_timeout c;
+  Cong.reset c;
+  Alcotest.(check (float 0.)) "cwnd back to 1" 1. (Cong.cwnd c);
+  Alcotest.(check (float 0.)) "ssthresh back to maxwnd" 1000. (Cong.ssthresh c)
+
+let test_bad_args () =
+  let raised f = try ignore (f () : Cong.t); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "maxwnd < 2" true
+    (raised (fun () -> Cong.create ~algorithm:(Cong.Fixed 1) ~maxwnd:1));
+  Alcotest.(check bool) "fixed window < 1" true
+    (raised (fun () -> Cong.create ~algorithm:(Cong.Fixed 0) ~maxwnd:10))
+
+let prop_acceleration =
+  (* Paper 2.1: with the modified algorithm, in congestion avoidance
+     floor(cwnd) increases by exactly 1 per epoch, for any starting
+     ssthresh. *)
+  QCheck.Test.make ~name:"CA acceleration is 1 per epoch" ~count:100
+    QCheck.(int_range 2 40)
+    (fun start ->
+      let c = Cong.create ~algorithm:(Cong.Tahoe { modified_ca = true })
+          ~maxwnd:1000 in
+      (* climb to `start` in slow start, then force CA via a loss at 2*start *)
+      for _ = 1 to (2 * start) - 1 do Cong.on_ack c done;
+      Cong.on_timeout c;
+      (* slow start to ssthresh = start *)
+      while Cong.in_slow_start c do Cong.on_ack c done;
+      let w0 = Cong.wnd c in
+      for _ = 1 to w0 do Cong.on_ack c done;
+      Cong.wnd c = w0 + 1)
+
+let prop_loss_never_below_two =
+  QCheck.Test.make ~name:"ssthresh never below 2" ~count:100
+    QCheck.(list bool)
+    (fun choices ->
+      let c = Cong.create ~algorithm:(Cong.Tahoe { modified_ca = true })
+          ~maxwnd:1000 in
+      List.iter (fun ack -> if ack then Cong.on_ack c else Cong.on_timeout c) choices;
+      Cong.ssthresh c >= 2.)
+
+let suite =
+  ( "cong",
+    [
+      Alcotest.test_case "initial state" `Quick test_initial_state;
+      Alcotest.test_case "slow start doubling" `Quick test_slow_start_exponential;
+      Alcotest.test_case "CA modified increment" `Quick
+        test_congestion_avoidance_modified;
+      Alcotest.test_case "CA original anomaly" `Quick
+        test_congestion_avoidance_unmodified;
+      Alcotest.test_case "loss halves window" `Quick test_loss_halves;
+      Alcotest.test_case "double loss floors ssthresh" `Quick
+        test_double_loss_floor;
+      Alcotest.test_case "maxwnd cap" `Quick test_maxwnd_cap;
+      Alcotest.test_case "fixed window" `Quick test_fixed_window;
+      Alcotest.test_case "reset" `Quick test_reset;
+      Alcotest.test_case "bad args" `Quick test_bad_args;
+      QCheck_alcotest.to_alcotest prop_acceleration;
+      QCheck_alcotest.to_alcotest prop_loss_never_below_two;
+    ] )

@@ -1,0 +1,127 @@
+open Analysis
+
+let drop ?(conn = 1) ?(kind = Net.Packet.Data) ?(seq = 0) ?(link = 0) time =
+  { Trace.Drop_log.time; conn; kind; seq; link }
+
+let test_gap_grouping () =
+  let records = [ drop 0.; drop 0.5; drop 10.; drop 10.2; drop 30. ] in
+  let epochs = Epochs.detect ~gap:5. records in
+  Alcotest.(check int) "three epochs" 3 (List.length epochs);
+  Alcotest.(check (list int)) "sizes" [ 2; 2; 1 ]
+    (List.map Epochs.total_drops epochs)
+
+let test_epoch_bounds () =
+  let epochs = Epochs.detect ~gap:5. [ drop 1.; drop 2.; drop 3. ] in
+  match epochs with
+  | [ e ] ->
+    Alcotest.(check (float 0.)) "start" 1. e.Epochs.start;
+    Alcotest.(check (float 0.)) "stop" 3. e.Epochs.stop
+  | _ -> Alcotest.fail "expected one epoch"
+
+let test_by_conn () =
+  let epochs =
+    Epochs.detect ~gap:5. [ drop ~conn:1 0.; drop ~conn:1 0.1; drop ~conn:2 0.2 ]
+  in
+  match epochs with
+  | [ e ] ->
+    Alcotest.(check (list (pair int int))) "per-conn counts" [ (1, 2); (2, 1) ]
+      e.Epochs.by_conn;
+    Alcotest.(check int) "losses_of conn 1" 2 (Epochs.losses_of e ~conn:1);
+    Alcotest.(check int) "losses_of unscathed" 0 (Epochs.losses_of e ~conn:3);
+    Alcotest.(check (list int)) "conns hit" [ 1; 2 ] (Epochs.conns_hit e)
+  | _ -> Alcotest.fail "expected one epoch"
+
+let test_mean_drops () =
+  let epochs = Epochs.detect ~gap:1. [ drop 0.; drop 0.1; drop 10. ] in
+  Alcotest.(check (option (float 1e-9))) "mean" (Some 1.5)
+    (Epochs.mean_drops epochs);
+  Alcotest.(check (option (float 0.))) "empty" None (Epochs.mean_drops [])
+
+let test_loss_synchronization () =
+  let epochs =
+    Epochs.detect ~gap:1.
+      [
+        drop ~conn:1 0.; drop ~conn:2 0.1;  (* both hit *)
+        drop ~conn:1 10.;                   (* only conn 1 *)
+      ]
+  in
+  Alcotest.(check (option (float 1e-9))) "half synchronized" (Some 0.5)
+    (Epochs.loss_synchronization epochs ~conns:[ 1; 2 ])
+
+let test_single_loser_alternation () =
+  let epochs =
+    Epochs.detect ~gap:1.
+      [
+        drop ~conn:1 0.; drop ~conn:1 0.1;
+        drop ~conn:2 10.; drop ~conn:2 10.1;
+        drop ~conn:1 20.; drop ~conn:1 20.1;
+      ]
+  in
+  Alcotest.(check (option (float 1e-9))) "all single-loser" (Some 1.)
+    (Epochs.single_loser_fraction epochs);
+  Alcotest.(check (option (float 1e-9))) "perfect alternation" (Some 1.)
+    (Epochs.alternation epochs)
+
+let test_alternation_broken () =
+  let epochs =
+    Epochs.detect ~gap:1.
+      [ drop ~conn:1 0.; drop ~conn:1 10.; drop ~conn:2 20. ]
+  in
+  Alcotest.(check (option (float 1e-9))) "half alternating" (Some 0.5)
+    (Epochs.alternation epochs)
+
+let test_alternation_insufficient () =
+  Alcotest.(check (option (float 0.))) "no epochs" None (Epochs.alternation []);
+  let one = Epochs.detect ~gap:1. [ drop 0. ] in
+  Alcotest.(check (option (float 0.))) "one epoch" None (Epochs.alternation one)
+
+let test_bad_gap () =
+  Alcotest.check_raises "non-positive gap"
+    (Invalid_argument "Epochs.detect: gap must be positive") (fun () ->
+      ignore (Epochs.detect ~gap:0. [] : Epochs.t list))
+
+let prop_drops_conserved =
+  QCheck.Test.make ~name:"epochs partition the drop list" ~count:200
+    QCheck.(pair (float_range 0.1 5.) (list (float_bound_inclusive 100.)))
+    (fun (gap, times) ->
+      let times = List.sort compare times in
+      let records = List.map (fun t -> drop t) times in
+      let epochs = Epochs.detect ~gap records in
+      List.fold_left (fun acc e -> acc + Epochs.total_drops e) 0 epochs
+      = List.length records)
+
+let prop_intra_epoch_gaps =
+  QCheck.Test.make ~name:"consecutive drops within an epoch are <= gap apart"
+    ~count:200
+    QCheck.(pair (float_range 0.1 5.) (list (float_bound_inclusive 100.)))
+    (fun (gap, times) ->
+      let times = List.sort compare times in
+      let records = List.map (fun t -> drop t) times in
+      let epochs = Epochs.detect ~gap records in
+      List.for_all
+        (fun e ->
+          let rec ok = function
+            | (a : Trace.Drop_log.record) :: (b :: _ as rest) ->
+              b.time -. a.time <= gap +. 1e-9 && ok rest
+            | [ _ ] | [] -> true
+          in
+          ok e.Epochs.drops)
+        epochs)
+
+let suite =
+  ( "epochs",
+    [
+      Alcotest.test_case "gap grouping" `Quick test_gap_grouping;
+      Alcotest.test_case "epoch bounds" `Quick test_epoch_bounds;
+      Alcotest.test_case "by conn" `Quick test_by_conn;
+      Alcotest.test_case "mean drops" `Quick test_mean_drops;
+      Alcotest.test_case "loss synchronization" `Quick test_loss_synchronization;
+      Alcotest.test_case "single loser + alternation" `Quick
+        test_single_loser_alternation;
+      Alcotest.test_case "alternation broken" `Quick test_alternation_broken;
+      Alcotest.test_case "alternation insufficient" `Quick
+        test_alternation_insufficient;
+      Alcotest.test_case "bad gap" `Quick test_bad_gap;
+      QCheck_alcotest.to_alcotest prop_drops_conserved;
+      QCheck_alcotest.to_alcotest prop_intra_epoch_gaps;
+    ] )

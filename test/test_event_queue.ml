@@ -1,0 +1,126 @@
+open Engine
+
+let check_pop queue expected () =
+  let rec drain acc =
+    match Event_queue.pop queue with
+    | None -> List.rev acc
+    | Some (_, x) -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "pop order" expected (drain [])
+
+let test_ordering () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:3. 3;
+  Event_queue.add q ~time:1. 1;
+  Event_queue.add q ~time:2. 2;
+  check_pop q [ 1; 2; 3 ] ()
+
+let test_fifo_ties () =
+  (* Same timestamp: insertion order must be preserved. *)
+  let q = Event_queue.create () in
+  List.iter (fun x -> Event_queue.add q ~time:5. x) [ 10; 20; 30; 40 ];
+  check_pop q [ 10; 20; 30; 40 ] ()
+
+let test_interleaved_ties () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:2. 21;
+  Event_queue.add q ~time:1. 11;
+  Event_queue.add q ~time:2. 22;
+  Event_queue.add q ~time:1. 12;
+  check_pop q [ 11; 12; 21; 22 ] ()
+
+let test_peek () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "empty peek" true (Event_queue.peek q = None);
+  Event_queue.add q ~time:7. 'a';
+  Event_queue.add q ~time:3. 'b';
+  (match Event_queue.peek q with
+   | Some (t, x) ->
+     Alcotest.(check (float 0.)) "peek time" 3. t;
+     Alcotest.(check char) "peek payload" 'b' x
+   | None -> Alcotest.fail "expected an event");
+  Alcotest.(check int) "peek does not remove" 2 (Event_queue.length q)
+
+let test_length_and_clear () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "fresh is empty" true (Event_queue.is_empty q);
+  for i = 1 to 100 do
+    Event_queue.add q ~time:(float_of_int (100 - i)) i
+  done;
+  Alcotest.(check int) "length" 100 (Event_queue.length q);
+  Event_queue.clear q;
+  Alcotest.(check bool) "cleared" true (Event_queue.is_empty q);
+  Alcotest.(check bool) "pop after clear" true (Event_queue.pop q = None)
+
+let test_iter () =
+  let q = Event_queue.create () in
+  List.iter (fun x -> Event_queue.add q ~time:(float_of_int x) x) [ 5; 1; 3 ];
+  let sum = ref 0 in
+  Event_queue.iter q ~f:(fun ~time:_ x -> sum := !sum + x);
+  Alcotest.(check int) "iter visits all" 9 !sum
+
+let test_nan_rejected () =
+  let q = Event_queue.create () in
+  Alcotest.check_raises "NaN time" (Invalid_argument "Event_queue.add: NaN time")
+    (fun () -> Event_queue.add q ~time:Float.nan 0)
+
+let test_growth () =
+  (* Force several capacity doublings. *)
+  let q = Event_queue.create () in
+  for i = 0 to 999 do
+    Event_queue.add q ~time:(float_of_int (i mod 97)) i
+  done;
+  Alcotest.(check int) "all inserted" 1000 (Event_queue.length q);
+  let rec drain prev n =
+    match Event_queue.pop q with
+    | None -> n
+    | Some (t, _) ->
+      Alcotest.(check bool) "non-decreasing" true (t >= prev);
+      drain t (n + 1)
+  in
+  Alcotest.(check int) "all popped" 1000 (drain neg_infinity 0)
+
+let prop_sorted =
+  QCheck.Test.make ~name:"pops are sorted by time"
+    ~count:200
+    QCheck.(list (pair (float_bound_inclusive 1000.) small_int))
+    (fun events ->
+      let q = Event_queue.create () in
+      List.iter (fun (t, x) -> Event_queue.add q ~time:t x) events;
+      let rec drain prev =
+        match Event_queue.pop q with
+        | None -> true
+        | Some (t, _) -> t >= prev && drain t
+      in
+      drain neg_infinity)
+
+let prop_conserves_elements =
+  QCheck.Test.make ~name:"every added element is popped exactly once"
+    ~count:200
+    QCheck.(list (pair (float_bound_inclusive 100.) small_int))
+    (fun events ->
+      let q = Event_queue.create () in
+      List.iter (fun (t, x) -> Event_queue.add q ~time:t x) events;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | None -> acc
+        | Some (_, x) -> drain (x :: acc)
+      in
+      let popped = List.sort compare (drain []) in
+      let added = List.sort compare (List.map snd events) in
+      popped = added)
+
+let suite =
+  ( "event_queue",
+    [
+      Alcotest.test_case "ordering" `Quick test_ordering;
+      Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
+      Alcotest.test_case "interleaved ties" `Quick test_interleaved_ties;
+      Alcotest.test_case "peek" `Quick test_peek;
+      Alcotest.test_case "length and clear" `Quick test_length_and_clear;
+      Alcotest.test_case "iter" `Quick test_iter;
+      Alcotest.test_case "nan rejected" `Quick test_nan_rejected;
+      Alcotest.test_case "growth" `Quick test_growth;
+      QCheck_alcotest.to_alcotest prop_sorted;
+      QCheck_alcotest.to_alcotest prop_conserves_elements;
+    ] )

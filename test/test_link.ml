@@ -1,0 +1,170 @@
+open Engine
+open Net
+
+(* 50 Kbps link: 500-byte packets serialize in 80 ms, 50-byte in 8 ms. *)
+let make_link ?(bandwidth = 50_000.) ?(prop_delay = 0.01) ~buffer sim =
+  Link.create sim ~id:0 ~name:"test" ~src:0 ~dst:1 ~bandwidth ~prop_delay
+    ~buffer
+
+let packet ?(id = 0) ?(conn = 1) ?(kind = Packet.Data) ?(seq = 0) ?(size = 500)
+    () =
+  {
+    Packet.id;
+    conn;
+    kind;
+    seq;
+    size;
+    src = 0;
+    dst = 1;
+    born = 0.;
+    retransmit = false;
+  }
+
+let test_delivery_timing () =
+  let sim = Sim.create () in
+  let link = make_link ~prop_delay:0.01 ~buffer:None sim in
+  let arrival = ref None in
+  Link.set_deliver link (fun _ -> arrival := Some (Sim.now sim));
+  ignore (Link.send link (packet ()) : [ `Ok | `Dropped ]);
+  Sim.run sim ~until:1.;
+  (* tx 0.08 + prop 0.01 *)
+  Alcotest.(check (option (float 1e-9))) "arrival time" (Some 0.09) !arrival
+
+let test_serialization () =
+  (* Two back-to-back packets: second arrives one tx time after the first. *)
+  let sim = Sim.create () in
+  let link = make_link ~prop_delay:0. ~buffer:None sim in
+  let arrivals = ref [] in
+  Link.set_deliver link (fun p -> arrivals := (p.Packet.seq, Sim.now sim) :: !arrivals);
+  ignore (Link.send link (packet ~seq:0 ()) : [ `Ok | `Dropped ]);
+  ignore (Link.send link (packet ~seq:1 ()) : [ `Ok | `Dropped ]);
+  Sim.run sim ~until:1.;
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "arrivals"
+    [ (0, 0.08); (1, 0.16) ]
+    (List.rev !arrivals)
+
+let test_mixed_sizes () =
+  (* A data packet followed by an ACK: the ACK leaves 8 ms later. *)
+  let sim = Sim.create () in
+  let link = make_link ~prop_delay:0. ~buffer:None sim in
+  let arrivals = ref [] in
+  Link.set_deliver link (fun p -> arrivals := (p.Packet.kind, Sim.now sim) :: !arrivals);
+  ignore (Link.send link (packet ~kind:Packet.Data ~size:500 ()) : [ `Ok | `Dropped ]);
+  ignore (Link.send link (packet ~kind:Packet.Ack ~size:50 ()) : [ `Ok | `Dropped ]);
+  Sim.run sim ~until:1.;
+  match List.rev !arrivals with
+  | [ (Packet.Data, t1); (Packet.Ack, t2) ] ->
+    Alcotest.(check (float 1e-9)) "data at" 0.08 t1;
+    Alcotest.(check (float 1e-9)) "ack 8ms later" 0.088 t2
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_drop_tail_capacity () =
+  (* Buffer of 2 includes the packet in service (paper: C = B + 2P). *)
+  let sim = Sim.create () in
+  let link = make_link ~prop_delay:0. ~buffer:(Some 2) sim in
+  Link.set_deliver link (fun _ -> ());
+  Alcotest.(check bool) "1 ok" true (Link.send link (packet ~seq:0 ()) = `Ok);
+  Alcotest.(check bool) "2 ok" true (Link.send link (packet ~seq:1 ()) = `Ok);
+  Alcotest.(check bool) "3 dropped" true
+    (Link.send link (packet ~seq:2 ()) = `Dropped);
+  Alcotest.(check int) "queue includes in-service" 2 (Link.queue_length link);
+  Alcotest.(check int) "drop counter" 1 (Link.total_drops link);
+  Sim.run sim ~until:1.;
+  Alcotest.(check int) "drained" 0 (Link.queue_length link)
+
+let test_busy_time () =
+  let sim = Sim.create () in
+  let link = make_link ~prop_delay:0. ~buffer:None sim in
+  Link.set_deliver link (fun _ -> ());
+  ignore (Link.send link (packet ()) : [ `Ok | `Dropped ]);
+  ignore (Link.send link (packet ()) : [ `Ok | `Dropped ]);
+  Sim.run sim ~until:10.;
+  Alcotest.(check (float 1e-9)) "busy two tx times" 0.16
+    (Link.busy_time link ~now:10.);
+  (* a third packet: busy time is measured mid-transmission too *)
+  ignore (Link.send link (packet ()) : [ `Ok | `Dropped ]);
+  Sim.run sim ~until:10.04;
+  Alcotest.(check (float 1e-9)) "mid-transmission" 0.2
+    (Link.busy_time link ~now:10.04)
+
+let test_counters_by_kind () =
+  let sim = Sim.create () in
+  let link = make_link ~prop_delay:0. ~buffer:(Some 1) sim in
+  Link.set_deliver link (fun _ -> ());
+  ignore (Link.send link (packet ~kind:Packet.Data ()) : [ `Ok | `Dropped ]);
+  ignore (Link.send link (packet ~kind:Packet.Ack ~size:50 ()) : [ `Ok | `Dropped ]);
+  let c = Link.counters link in
+  Alcotest.(check int) "data enq" 1 c.Link.enq_data;
+  Alcotest.(check int) "ack dropped" 1 c.Link.drop_ack;
+  Sim.run sim ~until:1.;
+  Alcotest.(check int) "data departed" 1 c.Link.dep_data;
+  Alcotest.(check int) "bytes" 500 c.Link.dep_bytes
+
+let test_hooks () =
+  let sim = Sim.create () in
+  let link = make_link ~prop_delay:0. ~buffer:(Some 1) sim in
+  Link.set_deliver link (fun _ -> ());
+  let enq = ref [] and dep = ref [] and dropped = ref 0 in
+  Link.on_enqueue link (fun _t _p qlen -> enq := qlen :: !enq);
+  Link.on_depart link (fun _t _p qlen -> dep := qlen :: !dep);
+  Link.on_drop link (fun _t _p -> incr dropped);
+  ignore (Link.send link (packet ()) : [ `Ok | `Dropped ]);
+  ignore (Link.send link (packet ()) : [ `Ok | `Dropped ]);
+  Sim.run sim ~until:1.;
+  Alcotest.(check (list int)) "enqueue qlens" [ 1 ] (List.rev !enq);
+  Alcotest.(check (list int)) "depart qlens" [ 0 ] (List.rev !dep);
+  Alcotest.(check int) "drop hook" 1 !dropped
+
+let test_contents () =
+  let sim = Sim.create () in
+  let link = make_link ~prop_delay:0. ~buffer:None sim in
+  Link.set_deliver link (fun _ -> ());
+  ignore (Link.send link (packet ~seq:7 ()) : [ `Ok | `Dropped ]);
+  ignore (Link.send link (packet ~seq:8 ()) : [ `Ok | `Dropped ]);
+  let seqs = List.map (fun p -> p.Packet.seq) (Link.contents link) in
+  Alcotest.(check (list int)) "head first" [ 7; 8 ] seqs
+
+let test_tx_time () =
+  let sim = Sim.create () in
+  let link = make_link sim ~buffer:None in
+  Alcotest.(check (float 1e-12)) "data" 0.08 (Link.tx_time link ~bytes:500);
+  Alcotest.(check (float 1e-12)) "ack" 0.008 (Link.tx_time link ~bytes:50)
+
+let prop_conservation =
+  (* enqueued = departed + still queued, for any arrival pattern *)
+  QCheck.Test.make ~name:"link packet conservation" ~count:100
+    QCheck.(list (int_range 0 80))
+    (fun delays_ms ->
+      let sim = Sim.create () in
+      let link = make_link ~prop_delay:0.001 ~buffer:(Some 5) sim in
+      let delivered = ref 0 in
+      Link.set_deliver link (fun _ -> incr delivered);
+      List.iteri
+        (fun i ms ->
+          ignore
+            (Sim.schedule sim ~delay:(float_of_int (ms * i) /. 1000.) (fun () ->
+                 ignore (Link.send link (packet ~seq:i ()) : [ `Ok | `Dropped ]))
+              : Sim.handle))
+        delays_ms;
+      Sim.run_to_completion sim;
+      let c = Link.counters link in
+      c.Link.enq_data = c.Link.dep_data
+      && !delivered = c.Link.dep_data
+      && c.Link.enq_data + c.Link.drop_data = List.length delays_ms
+      && Link.queue_length link = 0)
+
+let suite =
+  ( "link",
+    [
+      Alcotest.test_case "delivery timing" `Quick test_delivery_timing;
+      Alcotest.test_case "serialization" `Quick test_serialization;
+      Alcotest.test_case "mixed sizes" `Quick test_mixed_sizes;
+      Alcotest.test_case "drop-tail capacity" `Quick test_drop_tail_capacity;
+      Alcotest.test_case "busy time" `Quick test_busy_time;
+      Alcotest.test_case "counters by kind" `Quick test_counters_by_kind;
+      Alcotest.test_case "hooks" `Quick test_hooks;
+      Alcotest.test_case "contents" `Quick test_contents;
+      Alcotest.test_case "tx time" `Quick test_tx_time;
+      QCheck_alcotest.to_alcotest prop_conservation;
+    ] )

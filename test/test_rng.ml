@@ -1,0 +1,82 @@
+open Engine
+
+let test_determinism () =
+  let a = Rng.create ~seed:42 in
+  let b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check (float 0.)) "same stream" (Rng.float a) (Rng.float b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create ~seed:1 in
+  let b = Rng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.float a <> Rng.float b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differs
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng ~bound:13 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 13)
+  done
+
+let test_int_bad_bound () =
+  let rng = Rng.create ~seed:7 in
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng ~bound:0 : int))
+
+let test_uniform () =
+  let rng = Rng.create ~seed:9 in
+  for _ = 1 to 1000 do
+    let x = Rng.uniform rng ~lo:(-2.) ~hi:5. in
+    Alcotest.(check bool) "in range" true (x >= -2. && x < 5.)
+  done
+
+let test_exponential () =
+  let rng = Rng.create ~seed:11 in
+  let n = 20_000 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    let x = Rng.exponential rng ~mean:3. in
+    Alcotest.(check bool) "non-negative" true (x >= 0.);
+    total := !total +. x
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool) "mean ~ 3" true (Float.abs (mean -. 3.) < 0.15)
+
+let test_split_independence () =
+  let parent = Rng.create ~seed:5 in
+  let child = Rng.split parent in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.float parent <> Rng.float child then differs := true
+  done;
+  Alcotest.(check bool) "split stream differs" true !differs
+
+let prop_float_unit_interval =
+  QCheck.Test.make ~name:"float is in [0,1)" ~count:100 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let x = Rng.float rng in
+        if not (x >= 0. && x < 1.) then ok := false
+      done;
+      !ok)
+
+let suite =
+  ( "rng",
+    [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+      Alcotest.test_case "int bounds" `Quick test_int_bounds;
+      Alcotest.test_case "int bad bound" `Quick test_int_bad_bound;
+      Alcotest.test_case "uniform" `Quick test_uniform;
+      Alcotest.test_case "exponential" `Quick test_exponential;
+      Alcotest.test_case "split independence" `Quick test_split_independence;
+      QCheck_alcotest.to_alcotest prop_float_unit_interval;
+    ] )

@@ -1,0 +1,59 @@
+open Engine
+open Net
+
+let test_dumbbell_routes () =
+  let sim = Sim.create () in
+  let p = Topology.params ~tau:0.01 ~buffer:(Some 20) () in
+  let d = Topology.dumbbell sim p in
+  Alcotest.(check (option int)) "h1 -> h2 hops" (Some 3)
+    (Routing.path_length d.net ~src:d.host1 ~dst:d.host2);
+  Alcotest.(check (option int)) "h2 -> h1 hops" (Some 3)
+    (Routing.path_length d.net ~src:d.host2 ~dst:d.host1);
+  match Routing.path d.net ~src:d.host1 ~dst:d.host2 with
+  | Some nodes ->
+    Alcotest.(check (list int)) "node sequence"
+      [ d.host1; d.switch1; d.switch2; d.host2 ]
+      nodes
+  | None -> Alcotest.fail "no path"
+
+let test_chain_routes () =
+  let sim = Sim.create () in
+  let p = Topology.params ~tau:0.01 ~buffer:(Some 20) () in
+  let c = Topology.chain sim p ~num_switches:4 in
+  (* host i to host j crosses |i-j| trunks plus the two host links. *)
+  Alcotest.(check (option int)) "adjacent hosts" (Some 3)
+    (Routing.path_length c.cnet ~src:c.hosts.(0) ~dst:c.hosts.(1));
+  Alcotest.(check (option int)) "across the chain" (Some 5)
+    (Routing.path_length c.cnet ~src:c.hosts.(0) ~dst:c.hosts.(3));
+  Alcotest.(check (option int)) "reverse" (Some 5)
+    (Routing.path_length c.cnet ~src:c.hosts.(3) ~dst:c.hosts.(0))
+
+let test_route_through_bottleneck () =
+  let sim = Sim.create () in
+  let p = Topology.params ~tau:0.01 ~buffer:(Some 20) () in
+  let d = Topology.dumbbell sim p in
+  match Network.route d.net ~node:d.switch1 ~dst:d.host2 with
+  | Some link ->
+    Alcotest.(check int) "switch1 routes to host2 over the bottleneck"
+      (Link.id d.fwd) (Link.id link)
+  | None -> Alcotest.fail "missing route"
+
+let test_no_route_to_nowhere () =
+  (* A host with no links at all is unreachable. *)
+  let sim = Sim.create () in
+  let net = Network.create sim in
+  let h1 = Network.add_host net ~name:"h1" ~proc_delay:0. in
+  let h2 = Network.add_host net ~name:"h2" ~proc_delay:0. in
+  Routing.compute net;
+  Alcotest.(check (option int)) "unreachable" None
+    (Routing.path_length net ~src:h1 ~dst:h2)
+
+let suite =
+  ( "routing",
+    [
+      Alcotest.test_case "dumbbell routes" `Quick test_dumbbell_routes;
+      Alcotest.test_case "chain routes" `Quick test_chain_routes;
+      Alcotest.test_case "route through bottleneck" `Quick
+        test_route_through_bottleneck;
+      Alcotest.test_case "no route" `Quick test_no_route_to_nowhere;
+    ] )

@@ -1,0 +1,105 @@
+open Tcp
+
+let continuous =
+  { Rto.default_params with Rto.granularity = 0.; min_timeout = 0.001 }
+
+let test_initial_timeout () =
+  let r = Rto.create Rto.default_params in
+  Alcotest.(check (float 0.)) "before any sample" 3. (Rto.timeout r);
+  Alcotest.(check bool) "no srtt yet" true (Rto.srtt r = None);
+  Alcotest.(check int) "no samples" 0 (Rto.samples r)
+
+let test_first_sample () =
+  let r = Rto.create continuous in
+  Rto.sample r 1.0;
+  Alcotest.(check (option (float 1e-9))) "srtt = sample" (Some 1.0) (Rto.srtt r);
+  Alcotest.(check (option (float 1e-9))) "rttvar = sample/2" (Some 0.5)
+    (Rto.rttvar r);
+  (* srtt + 4*rttvar = 3.0 *)
+  Alcotest.(check (float 1e-9)) "timeout" 3.0 (Rto.timeout r)
+
+let test_ewma_update () =
+  let r = Rto.create continuous in
+  Rto.sample r 1.0;
+  Rto.sample r 2.0;
+  (* err = 1: srtt = 1 + 1/8 = 1.125; rttvar = 0.5 + (1 - 0.5)/4 = 0.625 *)
+  Alcotest.(check (option (float 1e-9))) "srtt" (Some 1.125) (Rto.srtt r);
+  Alcotest.(check (option (float 1e-9))) "rttvar" (Some 0.625) (Rto.rttvar r)
+
+let test_tick_rounding () =
+  (* BSD 500 ms granularity: timeouts are multiples of the tick, >= 1 s. *)
+  let r = Rto.create Rto.default_params in
+  Rto.sample r 0.9;
+  let t = Rto.timeout r in
+  Alcotest.(check bool) "multiple of tick" true
+    (Float.abs (Float.rem t 0.5) < 1e-9 || Float.abs (Float.rem t 0.5 -. 0.5) < 1e-9);
+  Alcotest.(check bool) "at least the minimum" true (t >= 1.0)
+
+let test_min_clamp () =
+  let r = Rto.create Rto.default_params in
+  Rto.sample r 0.001;
+  Alcotest.(check (float 1e-9)) "clamped to min" 1.0 (Rto.timeout r)
+
+let test_max_clamp () =
+  let r = Rto.create Rto.default_params in
+  Rto.sample r 1000.;
+  Alcotest.(check (float 1e-9)) "clamped to max" 64. (Rto.timeout r)
+
+let test_backoff () =
+  let r = Rto.create Rto.default_params in
+  Rto.sample r 1.0;
+  let base = Rto.timeout r in
+  Rto.backoff r;
+  Alcotest.(check (float 1e-9)) "doubled" (2. *. base) (Rto.timeout r);
+  Rto.backoff r;
+  Alcotest.(check (float 1e-9)) "doubled again" (4. *. base) (Rto.timeout r);
+  Rto.reset_backoff r;
+  Alcotest.(check (float 1e-9)) "reset" base (Rto.timeout r)
+
+let test_backoff_cap () =
+  let r = Rto.create Rto.default_params in
+  Rto.sample r 1.0;
+  for _ = 1 to 20 do Rto.backoff r done;
+  Alcotest.(check bool) "capped at max_timeout" true (Rto.timeout r <= 64.);
+  Alcotest.(check int) "backoff count capped" 6 (Rto.backoff_count r)
+
+let test_bad_sample () =
+  let r = Rto.create Rto.default_params in
+  Alcotest.check_raises "negative rtt" (Invalid_argument "Rto.sample: bad RTT")
+    (fun () -> Rto.sample r (-1.))
+
+let prop_timeout_bounded =
+  QCheck.Test.make ~name:"timeout always within [min, max]" ~count:200
+    QCheck.(list (float_bound_inclusive 100.))
+    (fun samples ->
+      let r = Rto.create Rto.default_params in
+      List.iter (fun s -> Rto.sample r s) samples;
+      let t = Rto.timeout r in
+      t >= 1.0 && t <= 64.)
+
+let prop_srtt_tracks =
+  (* Constant RTTs converge srtt to that constant. *)
+  QCheck.Test.make ~name:"srtt converges on constant input" ~count:50
+    QCheck.(float_range 0.01 10.)
+    (fun rtt ->
+      let r = Rto.create continuous in
+      for _ = 1 to 200 do Rto.sample r rtt done;
+      match Rto.srtt r with
+      | Some s -> Float.abs (s -. rtt) < 0.01 *. rtt +. 1e-9
+      | None -> false)
+
+let suite =
+  ( "rto",
+    [
+      Alcotest.test_case "initial timeout" `Quick test_initial_timeout;
+      Alcotest.test_case "first sample" `Quick test_first_sample;
+      Alcotest.test_case "ewma update" `Quick test_ewma_update;
+      Alcotest.test_case "tick rounding" `Quick test_tick_rounding;
+      Alcotest.test_case "min clamp" `Quick test_min_clamp;
+      Alcotest.test_case "max clamp" `Quick test_max_clamp;
+      Alcotest.test_case "backoff" `Quick test_backoff;
+      Alcotest.test_case "backoff cap" `Quick test_backoff_cap;
+      Alcotest.test_case "bad sample" `Quick test_bad_sample;
+      QCheck_alcotest.to_alcotest prop_timeout_bounded;
+      QCheck_alcotest.to_alcotest prop_srtt_tracks;
+    ] )

@@ -1,0 +1,144 @@
+open Trace
+
+let series samples = Series.of_list samples
+
+let test_add_get () =
+  let s = series [ (0., 1.); (1., 2.); (2., 3.) ] in
+  Alcotest.(check int) "length" 3 (Series.length s);
+  Alcotest.(check (pair (float 0.) (float 0.))) "get" (1., 2.) (Series.get s 1);
+  Alcotest.(check bool) "nonempty" false (Series.is_empty s)
+
+let test_time_monotonic () =
+  let s = Series.create () in
+  Series.add s ~time:5. ~value:1.;
+  Alcotest.check_raises "backwards time"
+    (Invalid_argument "Series.add: time went backwards") (fun () ->
+      Series.add s ~time:4. ~value:2.)
+
+let test_equal_times_allowed () =
+  let s = Series.create () in
+  Series.add s ~time:1. ~value:1.;
+  Series.add s ~time:1. ~value:2.;
+  Alcotest.(check int) "both kept" 2 (Series.length s);
+  Alcotest.(check (option (float 0.))) "last wins for value_at" (Some 2.)
+    (Series.value_at s ~time:1.)
+
+let test_value_at () =
+  let s = series [ (1., 10.); (3., 30.); (5., 50.) ] in
+  Alcotest.(check (option (float 0.))) "before first" None
+    (Series.value_at s ~time:0.5);
+  Alcotest.(check (option (float 0.))) "exact" (Some 10.)
+    (Series.value_at s ~time:1.);
+  Alcotest.(check (option (float 0.))) "between" (Some 10.)
+    (Series.value_at s ~time:2.9);
+  Alcotest.(check (option (float 0.))) "after last" (Some 50.)
+    (Series.value_at s ~time:100.)
+
+let test_resample () =
+  let s = series [ (0., 1.); (2., 2.); (4., 3.) ] in
+  let xs = Series.resample s ~t0:0. ~t1:6. ~dt:1. in
+  Alcotest.(check (array (float 0.))) "step resample"
+    [| 1.; 1.; 2.; 2.; 3.; 3. |] xs
+
+let test_resample_before_start () =
+  let s = series [ (10., 7.) ] in
+  let xs = Series.resample s ~t0:0. ~t1:2. ~dt:1. in
+  Alcotest.(check (array (float 0.))) "first value backfills" [| 7.; 7. |] xs
+
+let test_min_max () =
+  let s = series [ (0., 5.); (1., 1.); (2., 9.); (3., 4.) ] in
+  Alcotest.(check (option (pair (float 0.) (float 0.)))) "window extremes"
+    (Some (1., 9.))
+    (Series.min_max s ~t0:0.5 ~t1:2.5);
+  (* the value carried into the window counts *)
+  Alcotest.(check (option (pair (float 0.) (float 0.)))) "carried value"
+    (Some (4., 4.))
+    (Series.min_max s ~t0:10. ~t1:20.)
+
+let test_mean_constant () =
+  let s = series [ (0., 3.) ] in
+  Alcotest.(check (option (float 1e-9))) "constant mean" (Some 3.)
+    (Series.mean s ~t0:0. ~t1:10.)
+
+let test_mean_step () =
+  (* 0 for [0,5), 10 for [5,10): mean over [0,10) is 5. *)
+  let s = series [ (0., 0.); (5., 10.) ] in
+  Alcotest.(check (option (float 1e-9))) "time-weighted mean" (Some 5.)
+    (Series.mean s ~t0:0. ~t1:10.);
+  Alcotest.(check (option (float 1e-9))) "sub-window" (Some 10.)
+    (Series.mean s ~t0:5. ~t1:10.)
+
+let test_window () =
+  let s = series [ (0., 1.); (1., 2.); (2., 3.); (3., 4.) ] in
+  Alcotest.(check (list (pair (float 0.) (float 0.)))) "half-open window"
+    [ (1., 2.); (2., 3.) ]
+    (Series.window s ~t0:1. ~t1:3.)
+
+let test_iter_to_list () =
+  let samples = [ (0., 1.); (1., 4.); (2., 9.) ] in
+  let s = series samples in
+  Alcotest.(check (list (pair (float 0.) (float 0.)))) "round trip" samples
+    (Series.to_list s);
+  let count = ref 0 in
+  Series.iter s ~f:(fun ~time:_ ~value:_ -> incr count);
+  Alcotest.(check int) "iter count" 3 !count
+
+let test_errors () =
+  let s = series [ (0., 1.) ] in
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "empty resample" true
+    (raises (fun () ->
+         ignore (Series.resample (Series.create ()) ~t0:0. ~t1:1. ~dt:0.1
+             : float array)));
+  Alcotest.(check bool) "bad dt" true
+    (raises (fun () -> ignore (Series.resample s ~t0:0. ~t1:1. ~dt:0. : float array)));
+  Alcotest.(check bool) "bad index" true
+    (raises (fun () -> ignore (Series.get s 5 : float * float)))
+
+let prop_value_at_matches_scan =
+  QCheck.Test.make ~name:"value_at agrees with a linear scan" ~count:200
+    QCheck.(pair (list (float_bound_inclusive 100.)) (float_bound_inclusive 110.))
+    (fun (times, probe) ->
+      let times = List.sort compare times in
+      let samples = List.mapi (fun i t -> (t, float_of_int i)) times in
+      let s = series samples in
+      let expected =
+        List.fold_left
+          (fun acc (t, v) -> if t <= probe then Some v else acc)
+          None samples
+      in
+      Series.value_at s ~time:probe = expected)
+
+let prop_mean_bounded =
+  QCheck.Test.make ~name:"mean lies within [min, max]" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 20) (float_bound_inclusive 50.))
+    (fun values ->
+      let samples = List.mapi (fun i v -> (float_of_int i, v)) values in
+      let s = series samples in
+      let n = float_of_int (List.length values) in
+      match
+        ( Series.mean s ~t0:0. ~t1:n,
+          Series.min_max s ~t0:0. ~t1:n )
+      with
+      | Some m, Some (lo, hi) -> m >= lo -. 1e-9 && m <= hi +. 1e-9
+      | _ -> false)
+
+let suite =
+  ( "series",
+    [
+      Alcotest.test_case "add/get" `Quick test_add_get;
+      Alcotest.test_case "time monotonic" `Quick test_time_monotonic;
+      Alcotest.test_case "equal times" `Quick test_equal_times_allowed;
+      Alcotest.test_case "value_at" `Quick test_value_at;
+      Alcotest.test_case "resample" `Quick test_resample;
+      Alcotest.test_case "resample before start" `Quick
+        test_resample_before_start;
+      Alcotest.test_case "min_max" `Quick test_min_max;
+      Alcotest.test_case "mean constant" `Quick test_mean_constant;
+      Alcotest.test_case "mean step" `Quick test_mean_step;
+      Alcotest.test_case "window" `Quick test_window;
+      Alcotest.test_case "iter/to_list" `Quick test_iter_to_list;
+      Alcotest.test_case "errors" `Quick test_errors;
+      QCheck_alcotest.to_alcotest prop_value_at_matches_scan;
+      QCheck_alcotest.to_alcotest prop_mean_bounded;
+    ] )

@@ -1,0 +1,130 @@
+open Engine
+
+let test_schedule_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Sim.schedule sim ~delay:2. (note "c") : Sim.handle);
+  ignore (Sim.schedule sim ~delay:1. (note "a") : Sim.handle);
+  ignore (Sim.schedule sim ~delay:1.5 (note "b") : Sim.handle);
+  Sim.run sim ~until:10.;
+  Alcotest.(check (list string)) "execution order" [ "a"; "b"; "c" ]
+    (List.rev !log);
+  Alcotest.(check (float 0.)) "clock at horizon" 10. (Sim.now sim)
+
+let test_same_time_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Sim.schedule sim ~delay:1. (fun () -> log := i :: !log) : Sim.handle)
+  done;
+  Sim.run sim ~until:2.;
+  Alcotest.(check (list int)) "same-instant FIFO" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_cancel () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  let h = Sim.schedule sim ~delay:1. (fun () -> fired := true) in
+  Alcotest.(check bool) "pending before" true (Sim.pending h);
+  Sim.cancel h;
+  Alcotest.(check bool) "pending after cancel" false (Sim.pending h);
+  Sim.run sim ~until:5.;
+  Alcotest.(check bool) "cancelled event did not fire" false !fired;
+  (* double-cancel is a no-op *)
+  Sim.cancel h
+
+let test_nested_scheduling () =
+  let sim = Sim.create () in
+  let times = ref [] in
+  let rec ping n () =
+    times := Sim.now sim :: !times;
+    if n > 0 then ignore (Sim.schedule sim ~delay:1. (ping (n - 1)) : Sim.handle)
+  in
+  ignore (Sim.schedule sim ~delay:1. (ping 3) : Sim.handle);
+  Sim.run sim ~until:10.;
+  Alcotest.(check (list (float 1e-9))) "cascade times" [ 1.; 2.; 3.; 4. ]
+    (List.rev !times)
+
+let test_run_until_stops () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    ignore (Sim.schedule sim ~delay:1. tick : Sim.handle)
+  in
+  ignore (Sim.schedule sim ~delay:1. tick : Sim.handle);
+  Sim.run sim ~until:5.5;
+  Alcotest.(check int) "events within horizon" 5 !count;
+  Sim.run sim ~until:7.5;
+  Alcotest.(check int) "resumes from horizon" 7 !count
+
+let test_zero_delay () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  ignore
+    (Sim.schedule sim ~delay:0. (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Sim.schedule sim ~delay:0. (fun () -> log := "inner" :: !log)
+             : Sim.handle))
+      : Sim.handle);
+  Sim.run sim ~until:1.;
+  Alcotest.(check (list string)) "zero delay ordering" [ "outer"; "inner" ]
+    (List.rev !log)
+
+let test_negative_delay_rejected () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Sim.schedule: negative or NaN delay") (fun () ->
+      ignore (Sim.schedule sim ~delay:(-1.) (fun () -> ()) : Sim.handle))
+
+let test_at_past_rejected () =
+  let sim = Sim.create () in
+  ignore (Sim.schedule sim ~delay:5. (fun () -> ()) : Sim.handle);
+  Sim.run sim ~until:5.;
+  let raised =
+    try
+      ignore (Sim.at sim ~time:1. (fun () -> ()) : Sim.handle);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "past time rejected" true raised
+
+let test_events_run () =
+  let sim = Sim.create () in
+  for _ = 1 to 4 do
+    ignore (Sim.schedule sim ~delay:1. (fun () -> ()) : Sim.handle)
+  done;
+  let h = Sim.schedule sim ~delay:1. (fun () -> ()) in
+  Sim.cancel h;
+  Sim.run_to_completion sim;
+  Alcotest.(check int) "cancelled events not counted" 4 (Sim.events_run sim)
+
+let test_step () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  for _ = 1 to 3 do
+    ignore (Sim.schedule sim ~delay:1. (fun () -> incr count) : Sim.handle)
+  done;
+  Alcotest.(check bool) "step runs one" true (Sim.step sim ~until:10.);
+  Alcotest.(check int) "one event" 1 !count;
+  Alcotest.(check bool) "step again" true (Sim.step sim ~until:10.);
+  ignore (Sim.step sim ~until:10. : bool);
+  Alcotest.(check bool) "exhausted" false (Sim.step sim ~until:10.)
+
+let suite =
+  ( "sim",
+    [
+      Alcotest.test_case "schedule order" `Quick test_schedule_order;
+      Alcotest.test_case "same-time FIFO" `Quick test_same_time_order;
+      Alcotest.test_case "cancel" `Quick test_cancel;
+      Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+      Alcotest.test_case "run until horizon" `Quick test_run_until_stops;
+      Alcotest.test_case "zero delay" `Quick test_zero_delay;
+      Alcotest.test_case "negative delay rejected" `Quick
+        test_negative_delay_rejected;
+      Alcotest.test_case "at past rejected" `Quick test_at_past_rejected;
+      Alcotest.test_case "events_run counts" `Quick test_events_run;
+      Alcotest.test_case "step" `Quick test_step;
+    ] )

@@ -1,0 +1,78 @@
+open Analysis
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_mean_variance () =
+  feq "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |]);
+  feq "variance" 1.25 (Stats.variance [| 1.; 2.; 3.; 4. |]);
+  feq "stddev" (sqrt 1.25) (Stats.stddev [| 1.; 2.; 3.; 4. |]);
+  feq "constant variance" 0. (Stats.variance [| 7.; 7.; 7. |])
+
+let test_median () =
+  feq "odd" 3. (Stats.median [| 5.; 1.; 3. |]);
+  feq "even" 2.5 (Stats.median [| 4.; 1.; 2.; 3. |]);
+  feq "single" 9. (Stats.median [| 9. |])
+
+let test_percentile () =
+  let a = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  feq "p50" 50. (Stats.percentile a ~p:50.);
+  feq "p90" 90. (Stats.percentile a ~p:90.);
+  feq "p0 -> min" 1. (Stats.percentile a ~p:0.);
+  feq "p100 -> max" 100. (Stats.percentile a ~p:100.)
+
+let test_pearson () =
+  let x = [| 1.; 2.; 3.; 4.; 5. |] in
+  let y = Array.map (fun v -> (2. *. v) +. 1.) x in
+  feq "perfect positive" 1. (Stats.pearson x y);
+  let z = Array.map (fun v -> -.v) x in
+  feq "perfect negative" (-1.) (Stats.pearson x z);
+  feq "constant input" 0. (Stats.pearson x [| 3.; 3.; 3.; 3.; 3. |])
+
+let test_min_max () =
+  feq "min" (-2.) (Stats.minimum [| 3.; -2.; 7. |]);
+  feq "max" 7. (Stats.maximum [| 3.; -2.; 7. |])
+
+let test_histogram () =
+  let counts = Stats.histogram [| 0.1; 0.2; 0.6; 0.9; 1.5; -3. |] ~bins:2 ~lo:0. ~hi:1. in
+  (* [0, .5): 0.1, 0.2, -3 (clamped); [.5, 1): 0.6, 0.9, 1.5 (clamped) *)
+  Alcotest.(check (array int)) "bins" [| 3; 3 |] counts
+
+let test_empty_rejected () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "mean" true (raises (fun () -> Stats.mean [||]));
+  Alcotest.(check bool) "median" true (raises (fun () -> Stats.median [||]));
+  Alcotest.(check bool) "pearson length" true
+    (raises (fun () -> Stats.pearson [| 1. |] [| 1.; 2. |]))
+
+let prop_pearson_bounded =
+  QCheck.Test.make ~name:"pearson in [-1, 1]" ~count:200
+    QCheck.(
+      list_of_size (Gen.int_range 2 30)
+        (pair (float_bound_inclusive 10.) (float_bound_inclusive 10.)))
+    (fun pairs ->
+      let xs = Array.of_list (List.map fst pairs) in
+      let ys = Array.of_list (List.map snd pairs) in
+      let r = Stats.pearson xs ys in
+      r >= -1.0000001 && r <= 1.0000001)
+
+let prop_median_bounded =
+  QCheck.Test.make ~name:"median within [min, max]" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_bound_inclusive 100.))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let m = Stats.median a in
+      m >= Stats.minimum a && m <= Stats.maximum a)
+
+let suite =
+  ( "stats",
+    [
+      Alcotest.test_case "mean/variance" `Quick test_mean_variance;
+      Alcotest.test_case "median" `Quick test_median;
+      Alcotest.test_case "percentile" `Quick test_percentile;
+      Alcotest.test_case "pearson" `Quick test_pearson;
+      Alcotest.test_case "min/max" `Quick test_min_max;
+      Alcotest.test_case "histogram" `Quick test_histogram;
+      Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+      QCheck_alcotest.to_alcotest prop_pearson_bounded;
+      QCheck_alcotest.to_alcotest prop_median_bounded;
+    ] )

@@ -1,0 +1,136 @@
+open Engine
+open Net
+
+(* A one-link rig with hand-fed packets. *)
+let rig ?(buffer = Some 3) () =
+  let sim = Sim.create () in
+  let link =
+    Link.create sim ~id:7 ~name:"rig" ~src:0 ~dst:1 ~bandwidth:50_000.
+      ~prop_delay:0. ~buffer
+  in
+  Link.set_deliver link (fun _ -> ());
+  let packet ?(conn = 1) ?(kind = Packet.Data) seq =
+    {
+      Packet.id = seq;
+      conn;
+      kind;
+      seq;
+      size = (match kind with Packet.Data -> 500 | Packet.Ack -> 50);
+      src = 0;
+      dst = 1;
+      born = Sim.now sim;
+      retransmit = false;
+    }
+  in
+  (sim, link, packet)
+
+let test_queue_trace () =
+  let sim, link, packet = rig () in
+  let qt = Trace.Queue_trace.attach link ~now:0. in
+  ignore (Link.send link (packet 0) : [ `Ok | `Dropped ]);
+  ignore (Link.send link (packet 1) : [ `Ok | `Dropped ]);
+  Sim.run sim ~until:1.;
+  let values = List.map snd (Trace.Series.to_list (Trace.Queue_trace.series qt)) in
+  (* initial 0, enq->1, enq->2, dep->1, dep->0 *)
+  Alcotest.(check (list (float 0.))) "occupancy history" [ 0.; 1.; 2.; 1.; 0. ]
+    values;
+  Alcotest.(check int) "peak" 2 (Trace.Queue_trace.peak qt);
+  Alcotest.(check int) "link accessor" 7 (Link.id (Trace.Queue_trace.link qt))
+
+let test_util_meter () =
+  let sim, link, packet = rig ~buffer:None () in
+  ignore (Link.send link (packet 0) : [ `Ok | `Dropped ]);
+  (* one 80 ms transmission, metered from t=0 *)
+  let meter = Trace.Util_meter.start link ~now:0. in
+  Sim.run sim ~until:0.8;
+  Alcotest.(check (float 1e-9)) "busy seconds" 0.08
+    (Trace.Util_meter.busy_time meter ~now:0.8);
+  Alcotest.(check (float 1e-9)) "utilization 10%" 0.1
+    (Trace.Util_meter.utilization meter ~now:0.8)
+
+let test_util_meter_window () =
+  (* The meter must not count busy time before its start. *)
+  let sim, link, packet = rig ~buffer:None () in
+  ignore (Link.send link (packet 0) : [ `Ok | `Dropped ]);
+  Sim.run sim ~until:1.;
+  let meter = Trace.Util_meter.start link ~now:1. in
+  Sim.run sim ~until:2.;
+  Alcotest.(check (float 1e-9)) "no pre-start busy time" 0.
+    (Trace.Util_meter.busy_time meter ~now:2.)
+
+let test_drop_log () =
+  let sim, link, packet = rig ~buffer:(Some 1) () in
+  let log = Trace.Drop_log.create () in
+  Trace.Drop_log.watch log link;
+  ignore (Link.send link (packet 0) : [ `Ok | `Dropped ]);
+  ignore (Link.send link (packet ~kind:Packet.Ack 1) : [ `Ok | `Dropped ]);
+  ignore (Link.send link (packet 2) : [ `Ok | `Dropped ]);
+  Sim.run sim ~until:1.;
+  Alcotest.(check int) "two drops" 2 (Trace.Drop_log.total log);
+  Alcotest.(check int) "one data drop" 1 (Trace.Drop_log.data_drops log);
+  Alcotest.(check int) "one ack drop" 1 (Trace.Drop_log.ack_drops log);
+  match Trace.Drop_log.records log with
+  | [ first; second ] ->
+    Alcotest.(check int) "first dropped seq" 1 first.Trace.Drop_log.seq;
+    Alcotest.(check int) "second dropped seq" 2 second.Trace.Drop_log.seq;
+    Alcotest.(check int) "link recorded" 7 first.Trace.Drop_log.link
+  | _ -> Alcotest.fail "expected two records"
+
+let test_drop_log_window () =
+  let sim, link, packet = rig ~buffer:(Some 1) () in
+  let log = Trace.Drop_log.create () in
+  Trace.Drop_log.watch log link;
+  ignore (Link.send link (packet 0) : [ `Ok | `Dropped ]);
+  ignore (Link.send link (packet 1) : [ `Ok | `Dropped ]);
+  (* dropped at t=0 *)
+  Sim.run sim ~until:1.;
+  Alcotest.(check int) "inside window" 1
+    (List.length (Trace.Drop_log.in_window log ~t0:0. ~t1:0.5));
+  Alcotest.(check int) "outside window" 0
+    (List.length (Trace.Drop_log.in_window log ~t0:0.5 ~t1:1.))
+
+let test_dep_log () =
+  let sim, link, packet = rig ~buffer:None () in
+  let dep = Trace.Dep_log.attach link in
+  ignore (Link.send link (packet ~conn:1 0) : [ `Ok | `Dropped ]);
+  ignore (Link.send link (packet ~conn:2 ~kind:Packet.Ack 5) : [ `Ok | `Dropped ]);
+  Sim.run sim ~until:1.;
+  (match Trace.Dep_log.records dep with
+   | [ a; b ] ->
+     Alcotest.(check int) "first out conn" 1 a.Trace.Dep_log.conn;
+     Alcotest.(check (float 1e-9)) "first out at tx time" 0.08 a.Trace.Dep_log.time;
+     Alcotest.(check bool) "second is the ack" true (b.Trace.Dep_log.kind = Packet.Ack);
+     Alcotest.(check (float 1e-9)) "ack 8ms later" 0.088 b.Trace.Dep_log.time
+   | _ -> Alcotest.fail "expected two departures");
+  Alcotest.(check int) "total" 2 (Trace.Dep_log.total dep)
+
+let test_cwnd_trace () =
+  let sim = Sim.create () in
+  let d = Topology.dumbbell sim (Topology.params ~tau:0.01 ~buffer:(Some 20) ()) in
+  let config = Tcp.Config.make ~conn:1 ~src_host:d.host1 ~dst_host:d.host2 () in
+  let conn = Tcp.Connection.create d.net config in
+  let trace = Trace.Cwnd_trace.attach (Tcp.Connection.sender conn) ~now:0. in
+  Sim.run sim ~until:10.;
+  Alcotest.(check int) "conn id" 1 (Trace.Cwnd_trace.conn trace);
+  Alcotest.(check bool) "cwnd samples recorded" true
+    (Trace.Series.length (Trace.Cwnd_trace.cwnd trace) > 5);
+  Alcotest.(check bool) "ssthresh recorded too" true
+    (Trace.Series.length (Trace.Cwnd_trace.ssthresh trace) > 1);
+  (* the trace follows the live value *)
+  match Trace.Series.value_at (Trace.Cwnd_trace.cwnd trace) ~time:10. with
+  | Some v ->
+    Alcotest.(check (float 1e-6)) "last sample = live cwnd"
+      (Tcp.Connection.cwnd conn) v
+  | None -> Alcotest.fail "no samples"
+
+let suite =
+  ( "traces",
+    [
+      Alcotest.test_case "queue trace" `Quick test_queue_trace;
+      Alcotest.test_case "util meter" `Quick test_util_meter;
+      Alcotest.test_case "util meter window" `Quick test_util_meter_window;
+      Alcotest.test_case "drop log" `Quick test_drop_log;
+      Alcotest.test_case "drop log window" `Quick test_drop_log_window;
+      Alcotest.test_case "dep log" `Quick test_dep_log;
+      Alcotest.test_case "cwnd trace" `Quick test_cwnd_trace;
+    ] )

@@ -1,0 +1,46 @@
+open Engine
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_paper_tx_times () =
+  (* The paper's key constants: 500 B data @ 50 Kbps = 80 ms; 50 B ACK =
+     8 ms; host link 500 B @ 10 Mbps = 0.4 ms. *)
+  feq "data tx" 0.08 (Units.transmission_time ~bytes:500 ~rate_bps:(Units.kbps 50.));
+  feq "ack tx" 0.008 (Units.transmission_time ~bytes:50 ~rate_bps:(Units.kbps 50.));
+  feq "host link tx" 0.0004
+    (Units.transmission_time ~bytes:500 ~rate_bps:(Units.mbps 10.))
+
+let test_paper_pipe_sizes () =
+  (* P = mu*tau/M: 0.125 packets at tau=0.01s, 12.5 at tau=1s. *)
+  feq "small pipe" 0.125
+    (Units.pipe_size ~rate_bps:(Units.kbps 50.) ~delay:0.01 ~packet_bytes:500);
+  feq "large pipe" 12.5
+    (Units.pipe_size ~rate_bps:(Units.kbps 50.) ~delay:1.0 ~packet_bytes:500)
+
+let test_conversions () =
+  feq "kbps" 50_000. (Units.kbps 50.);
+  feq "mbps" 10_000_000. (Units.mbps 10.);
+  feq "ms" 0.0001 (Units.ms 0.1);
+  feq "usec" 1e-6 (Units.usec 1.);
+  feq "bits of bytes" 4000. (Units.bits_of_bytes 500)
+
+let test_bad_rate () =
+  Alcotest.check_raises "zero rate"
+    (Invalid_argument "Units.transmission_time: rate <= 0") (fun () ->
+      ignore (Units.transmission_time ~bytes:1 ~rate_bps:0. : float))
+
+let test_pp_time () =
+  let show t = Format.asprintf "%a" Units.pp_time t in
+  Alcotest.(check string) "seconds" "1.500s" (show 1.5);
+  Alcotest.(check string) "millis" "80.000ms" (show 0.08);
+  Alcotest.(check string) "micros" "100.0us" (show 0.0001)
+
+let suite =
+  ( "units",
+    [
+      Alcotest.test_case "paper tx times" `Quick test_paper_tx_times;
+      Alcotest.test_case "paper pipe sizes" `Quick test_paper_pipe_sizes;
+      Alcotest.test_case "conversions" `Quick test_conversions;
+      Alcotest.test_case "bad rate" `Quick test_bad_rate;
+      Alcotest.test_case "pp_time" `Quick test_pp_time;
+    ] )
