@@ -167,6 +167,21 @@ let bench_end_to_end =
          in
          ignore (Core.Runner.run scenario : Core.Runner.result)))
 
+let bench_end_to_end_validated =
+  Test.make ~name:"simulate 10s of fig-4, validation on"
+    (Staged.stage (fun () ->
+         let scenario =
+           Core.Scenario.make ~name:"bench-validated" ~tau:0.01
+             ~buffer:(Some 20)
+             ~conns:
+               [
+                 Core.Scenario.conn Core.Scenario.Forward;
+                 Core.Scenario.conn ~start_time:1. Core.Scenario.Reverse;
+               ]
+             ~duration:10. ~warmup:1. ~validate:true ()
+         in
+         ignore (Core.Runner.run scenario : Core.Runner.result)))
+
 let bench_series =
   Test.make ~name:"series: resample 10k samples"
     (Staged.stage
@@ -187,6 +202,7 @@ let run_micro () =
       bench_cong;
       bench_rto;
       bench_end_to_end;
+      bench_end_to_end_validated;
       bench_series;
     ]
   in
@@ -217,6 +233,42 @@ let run_micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* 4. Validation overhead                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock cost of running the lib/validate checkers inside a
+   simulation, measured on a 300 sim-second two-way run.  The numbers
+   quoted in DESIGN.md come from this subcommand. *)
+let run_overhead () =
+  banner "VALIDATION OVERHEAD: lib/validate checkers on vs. off";
+  let scenario ~validate =
+    Core.Scenario.make ~name:"overhead" ~tau:0.01 ~buffer:(Some 20)
+      ~conns:
+        [
+          Core.Scenario.conn Core.Scenario.Forward;
+          Core.Scenario.conn ~start_time:1. Core.Scenario.Reverse;
+        ]
+      ~duration:300. ~warmup:10. ~validate ()
+  in
+  let time ~validate =
+    let reps = 5 in
+    (* warm once, then take the best of [reps] to shed GC noise *)
+    ignore (Core.Runner.run (scenario ~validate) : Core.Runner.result);
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (Core.Runner.run (scenario ~validate) : Core.Runner.result);
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let off = time ~validate:false in
+  let on = time ~validate:true in
+  Printf.printf "validation off: %8.2f ms\n" (1000. *. off);
+  Printf.printf "validation on:  %8.2f ms\n" (1000. *. on);
+  Printf.printf "overhead:       %8.1f %%\n" (100. *. ((on /. off) -. 1.))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -228,6 +280,9 @@ let () =
       0
     | [ "gallery" ] ->
       run_gallery ();
+      0
+    | [ "overhead" ] ->
+      run_overhead ();
       0
     | [] ->
       let outcomes = run_experiments [] in

@@ -15,6 +15,23 @@ let speed_of_quick quick =
 let quick_flag =
   Arg.(value & flag & info [ "quick" ] ~doc:"Shorter simulated horizon.")
 
+let validate_flag =
+  Arg.(
+    value & flag
+    & info [ "validate" ]
+        ~doc:
+          "Run the invariant checkers (packet conservation, FIFO order, \
+           ACK monotonicity, Tahoe window rules, clock monotonicity) \
+           alongside the simulation; exit non-zero on any violation.")
+
+(* Print the validation verdict; returns the exit code contribution. *)
+let report_validation (r : Core.Runner.result) =
+  match Core.Runner.validation_report r with
+  | None -> 0
+  | Some report ->
+    print_endline (Validate.Report.to_string report);
+    if Validate.Report.is_clean report then 0 else 1
+
 (* ---------------- experiment ---------------- *)
 
 let experiment_names = "all" :: List.map fst Core.Experiments.registry
@@ -60,7 +77,7 @@ let experiment_cmd =
 (* ---------------- run ---------------- *)
 
 let run_custom tau buffer fwd rev fixed delack ack_size algorithm pacing
-    gateway flow_size skew duration warmup csv_dir =
+    gateway flow_size skew duration warmup csv_dir validate =
   if fwd + rev = 0 && fixed = None then begin
     prerr_endline "nothing to simulate: need --fwd, --rev or --fixed";
     exit 2
@@ -106,7 +123,7 @@ let run_custom tau buffer fwd rev fixed delack ack_size algorithm pacing
   let buffer = if buffer <= 0 then None else Some buffer in
   let scenario =
     Core.Scenario.make ~name:"custom" ~tau ~buffer ~gateway ~conns ~duration
-      ~warmup ()
+      ~warmup ~validate ()
   in
   let r = Core.Runner.run scenario in
   Printf.printf "scenario: tau=%gs buffer=%s pipe=%.3g pkts\n" tau
@@ -155,7 +172,7 @@ let run_custom tau buffer fwd rev fixed delack ack_size algorithm pacing
    | Some dir ->
      let files = Core.Export.run_csv ~dir ~prefix:"custom" r in
      Printf.printf "wrote %d CSV files under %s\n" (List.length files) dir);
-  0
+  report_validation r
 
 let fixed_conv =
   let parse s =
@@ -260,13 +277,13 @@ let run_cmd =
     Term.(
       const run_custom $ tau $ buffer $ fwd $ rev $ fixed $ delack $ ack_size
       $ algorithm $ pacing $ gateway $ flow_size $ skew $ duration $ warmup
-      $ csv)
+      $ csv $ validate_flag)
 
 (* ---------------- plot ---------------- *)
 
 let plottable = [ "fig2"; "fig3"; "fig45"; "fig67"; "fig8"; "fig9" ]
 
-let plot_figure name quick width =
+let plot_figure name quick width validate =
   let speed = speed_of_quick quick in
   let scenario =
     match name with
@@ -281,6 +298,10 @@ let plot_figure name quick width =
         ("unknown figure " ^ name ^ "; expected one of: "
         ^ String.concat ", " plottable);
       exit 2
+  in
+  let scenario =
+    if validate then { scenario with Core.Scenario.validate = true }
+    else scenario
   in
   let r = Core.Runner.run scenario in
   let span = Float.min 40. (r.t1 -. r.t0) in
@@ -304,7 +325,7 @@ let plot_figure name quick width =
          (Trace.Cwnd_trace.cwnd r.cwnds.(1))
          ~t0:r.t0 ~t1:r.t1)
   end;
-  0
+  report_validation r
 
 let plot_cmd =
   let name_arg =
@@ -318,16 +339,22 @@ let plot_cmd =
   in
   Cmd.v
     (Cmd.info "plot" ~doc:"ASCII plots of a paper figure.")
-    Term.(const plot_figure $ name_arg $ quick_flag $ width)
+    Term.(const plot_figure $ name_arg $ quick_flag $ width $ validate_flag)
 
 (* ---------------- dump ---------------- *)
 
-let dump_figures dir quick =
+let dump_figures dir quick validate =
   let speed = speed_of_quick quick in
+  let failures = ref 0 in
   let dump prefix scenario =
+    let scenario =
+      if validate then { scenario with Core.Scenario.validate = true }
+      else scenario
+    in
     let r = Core.Runner.run scenario in
     let files = Core.Export.run_csv ~dir ~prefix r in
-    Printf.printf "%s: %d files\n" prefix (List.length files)
+    Printf.printf "%s: %d files\n" prefix (List.length files);
+    failures := !failures + report_validation r
   in
   dump "fig2" (Core.Experiments.scenario_fig2 speed);
   dump "fig3" (Core.Experiments.scenario_fig3 speed);
@@ -336,7 +363,7 @@ let dump_figures dir quick =
   dump "fig8" (Core.Experiments.scenario_fixed ~tau:0.01 ~w1:30 ~w2:25 speed);
   dump "fig9" (Core.Experiments.scenario_fixed ~tau:1.0 ~w1:30 ~w2:25 speed);
   Printf.printf "CSV traces written under %s\n" dir;
-  0
+  if !failures > 0 then 1 else 0
 
 let dump_cmd =
   let dir =
@@ -346,7 +373,7 @@ let dump_cmd =
   in
   Cmd.v
     (Cmd.info "dump" ~doc:"Write every figure's traces as CSV.")
-    Term.(const dump_figures $ dir $ quick_flag)
+    Term.(const dump_figures $ dir $ quick_flag $ validate_flag)
 
 let main =
   Cmd.group

@@ -71,6 +71,12 @@ let run spec =
   in
   let drops = Trace.Drop_log.create () in
   List.iter (Trace.Drop_log.watch drops) (Net.Network.links chain.cnet);
+  let validation =
+    if Runner.env_forces_validation () then
+      Some
+        (Validate.Harness.attach chain.cnet ~conns:(Array.to_list conns))
+    else None
+  in
   let meters = ref [||] in
   ignore
     (Engine.Sim.at sim ~time:spec.warmup (fun () ->
@@ -84,6 +90,17 @@ let run spec =
       : Engine.Sim.handle);
   Engine.Sim.run sim ~until:spec.duration;
   let now = Engine.Sim.now sim in
+  (match validation with
+   | None -> ()
+   | Some harness ->
+     let report = Validate.Harness.finalize harness ~now in
+     if not (Validate.Report.is_clean report) then begin
+       prerr_endline "netsim validation FAILED for multihop run:";
+       prerr_endline (Validate.Report.to_string report);
+       failwith
+         (Printf.sprintf "validation failed for multihop run: %s"
+            (Validate.Report.summary report))
+     end);
   let trunk_utils =
     Array.map
       (fun (fwd, bwd) ->

@@ -15,7 +15,16 @@ type result = {
   t0 : float;
   t1 : float;
   delivered : int array;
+  validation : Validate.Harness.t option;
 }
+
+(* NETSIM_VALIDATE=1 (any value but "" / "0") forces validation on for
+   every run, letting the examples and bins be audited without code
+   changes. *)
+let env_forces_validation () =
+  match Sys.getenv_opt "NETSIM_VALIDATE" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
 
 let connection_config (d : Net.Topology.dumbbell) ~conn_id
     (spec : Scenario.conn_spec) =
@@ -42,6 +51,13 @@ let run (scenario : Scenario.t) =
            let config = connection_config dumbbell ~conn_id:(i + 1) spec in
            (spec, Tcp.Connection.create dumbbell.net config))
          scenario.conns)
+  in
+  let validation =
+    if scenario.validate || env_forces_validation () then
+      Some
+        (Validate.Harness.attach dumbbell.net
+           ~conns:(Array.to_list (Array.map snd conns)))
+    else None
   in
   let now = Engine.Sim.now sim in
   let q1 = Trace.Queue_trace.attach dumbbell.fwd ~now in
@@ -74,6 +90,23 @@ let run (scenario : Scenario.t) =
       : Engine.Sim.handle);
   Engine.Sim.run sim ~until:scenario.duration;
   let now = Engine.Sim.now sim in
+  (match validation with
+   | None -> ()
+   | Some harness ->
+     let report = Validate.Harness.finalize harness ~now in
+     if not (Validate.Report.is_clean report) then begin
+       (* An invariant violation means the simulation itself cannot be
+          trusted; always say so loudly. *)
+       prerr_endline
+         (Printf.sprintf "netsim validation FAILED for scenario %s:"
+            scenario.name);
+       prerr_endline (Validate.Report.to_string report);
+       if env_forces_validation () && not scenario.validate then
+         failwith
+           (Printf.sprintf "validation failed for scenario %s: %s"
+              scenario.name
+              (Validate.Report.summary report))
+     end);
   let util_fwd, util_bwd =
     match !meters with
     | Some (fwd, bwd) ->
@@ -103,7 +136,11 @@ let run (scenario : Scenario.t) =
     t0 = scenario.warmup;
     t1 = scenario.duration;
     delivered;
+    validation;
   }
+
+let validation_report r =
+  Option.map (fun h -> Validate.Harness.report h) r.validation
 
 let goodput r i = float_of_int r.delivered.(i) /. (r.t1 -. r.t0)
 

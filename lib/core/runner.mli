@@ -19,10 +19,23 @@ type result = {
   t0 : float;  (** measurement window start (= warmup) *)
   t1 : float;  (** measurement window end (= duration) *)
   delivered : int array;  (** packets acked per connection within the window *)
+  validation : Validate.Harness.t option;
+      (** the invariant-checking harness, when the scenario (or the
+          [NETSIM_VALIDATE] environment variable) enabled validation *)
 }
 
-(** Build and run to completion. *)
+(** Build and run to completion.  When validation is enabled the
+    invariant checkers run inside the simulation; a violated invariant is
+    printed to stderr (and, when forced via [NETSIM_VALIDATE] rather than
+    the scenario flag, raises [Failure]). *)
 val run : Scenario.t -> result
+
+(** The finalized validation report, if validation was enabled. *)
+val validation_report : result -> Validate.Report.t option
+
+(** Is the [NETSIM_VALIDATE] environment variable set (to anything but
+    [""] or ["0"])? *)
+val env_forces_validation : unit -> bool
 
 (** Goodput of connection [i] (packets/s) over the measurement window. *)
 val goodput : result -> int -> float

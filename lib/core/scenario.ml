@@ -56,14 +56,16 @@ type t = {
   duration : float;
   warmup : float;
   sample_dt : float;
+  validate : bool;
 }
 
 let make ~name ~tau ~buffer ?(gateway = Net.Discipline.Fifo) ~conns
-    ?(duration = 600.) ?(warmup = 200.) ?(sample_dt = 0.5) () =
+    ?(duration = 600.) ?(warmup = 200.) ?(sample_dt = 0.5)
+    ?(validate = false) () =
   if conns = [] then invalid_arg "Scenario.make: no connections";
   if duration <= warmup then invalid_arg "Scenario.make: duration <= warmup";
   if sample_dt <= 0. then invalid_arg "Scenario.make: sample_dt <= 0";
-  { name; tau; buffer; gateway; conns; duration; warmup; sample_dt }
+  { name; tau; buffer; gateway; conns; duration; warmup; sample_dt; validate }
 
 let data_packet_size = 500
 

@@ -54,6 +54,10 @@ type t = {
   duration : float;  (** total simulated time, s *)
   warmup : float;  (** measurements cover [warmup, duration) *)
   sample_dt : float;  (** resampling grid for correlation analyses, s *)
+  validate : bool;
+      (** run the {!Validate.Harness} invariant checkers alongside the
+          simulation (default [false]; the [NETSIM_VALIDATE] environment
+          variable forces it on) *)
 }
 
 val make :
@@ -65,6 +69,7 @@ val make :
   ?duration:float ->
   ?warmup:float ->
   ?sample_dt:float ->
+  ?validate:bool ->
   unit ->
   t
 

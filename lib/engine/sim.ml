@@ -5,11 +5,15 @@ type t = {
   mutable clock : float;
   mutable executed : int;
   queue : handle Event_queue.t;
+  mutable observers : (float -> unit) list;
 }
 
-let create () = { clock = 0.; executed = 0; queue = Event_queue.create () }
+let create () =
+  { clock = 0.; executed = 0; queue = Event_queue.create (); observers = [] }
+
 let now t = t.clock
 let events_run t = t.executed
+let on_event t f = t.observers <- f :: t.observers
 
 let at t ~time f =
   if Float.is_nan time then invalid_arg "Sim.at: NaN time";
@@ -21,8 +25,9 @@ let at t ~time f =
   handle
 
 let schedule t ~delay f =
-  if Float.is_nan delay || delay < 0. then
-    invalid_arg "Sim.schedule: negative or NaN delay";
+  if Float.is_nan delay then invalid_arg "Sim.schedule: NaN delay";
+  if delay < 0. then
+    invalid_arg (Printf.sprintf "Sim.schedule: negative delay %g" delay);
   at t ~time:(t.clock +. delay) f
 
 let cancel handle = handle.event.cancelled <- true
@@ -32,6 +37,9 @@ let execute t handle =
   handle.fired <- true;
   if not handle.event.cancelled then begin
     t.executed <- t.executed + 1;
+    (match t.observers with
+     | [] -> ()
+     | obs -> List.iter (fun f -> f t.clock) obs);
     handle.event.action ()
   end
 
@@ -48,14 +56,17 @@ let step t ~until =
        true)
 
 let run t ~until =
+  if Float.is_nan until then invalid_arg "Sim.run: NaN horizon";
+  if until < t.clock then
+    invalid_arg
+      (Printf.sprintf "Sim.run: horizon %g is before current time %g" until
+         t.clock);
   while step t ~until do
     ()
   done;
-  if t.clock < until then
-    (* The horizon was reached with an empty (or future-only) queue. *)
-    match Event_queue.peek t.queue with
-    | Some (time, _) when time <= until -> ()
-    | _ -> t.clock <- until
+  (* The queue is drained of events at or before [until]; the clock always
+     lands exactly on the horizon. *)
+  t.clock <- until
 
 let run_to_completion t =
   let continue = ref true in

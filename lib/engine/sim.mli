@@ -2,7 +2,15 @@
 
     Events are arbitrary [unit -> unit] closures executed at their scheduled
     simulated time.  The clock only moves when the next event is dequeued;
-    within a single instant events run in the order they were scheduled. *)
+    within a single instant events run in the order they were scheduled.
+
+    {2 Error conventions}
+
+    Every entry point that takes a time-like argument rejects NaN with
+    ["Sim.<fn>: NaN <arg>"] and rejects values that would move the clock
+    backwards with ["Sim.<fn>: ... is before current time <now>"] (for
+    [schedule], a negative delay is reported as
+    ["Sim.schedule: negative delay <d>"]). *)
 
 type t
 
@@ -17,12 +25,19 @@ val now : t -> float
 (** Number of events executed so far. *)
 val events_run : t -> int
 
+(** [on_event t f] registers an observer called with the clock value each
+    time a non-cancelled event is about to execute.  Observers run before
+    the event's action, in no guaranteed relative order.  Used by the
+    validation layer to check clock monotonicity; observers must not
+    schedule or cancel events. *)
+val on_event : t -> (float -> unit) -> unit
+
 (** [schedule t ~delay f] runs [f] at [now t +. delay].
     @raise Invalid_argument if [delay] is negative or NaN. *)
 val schedule : t -> delay:float -> (unit -> unit) -> handle
 
 (** [at t ~time f] runs [f] at absolute [time].
-    @raise Invalid_argument if [time] is in the past. *)
+    @raise Invalid_argument if [time] is in the past or NaN. *)
 val at : t -> time:float -> (unit -> unit) -> handle
 
 (** Cancel a scheduled event.  Cancelling an already-run or
@@ -33,14 +48,15 @@ val cancel : handle -> unit
 val pending : handle -> bool
 
 (** Run events until the event queue empties or the clock would pass
-    [until].  On return [now t] is [until] if the horizon was reached,
-    otherwise the time of the last event executed. *)
+    [until].  Events scheduled exactly at [until] run.  On return [now t]
+    is exactly [until].
+    @raise Invalid_argument if [until] is before the current time or NaN. *)
 val run : t -> until:float -> unit
 
 (** Run every remaining event.  Intended for draining short simulations;
     diverges if events keep scheduling more events forever. *)
 val run_to_completion : t -> unit
 
-(** Execute a single event if one is pending before [until].
+(** Execute a single event if one is pending at or before [until].
     Returns [false] when nothing was run. *)
 val step : t -> until:float -> bool

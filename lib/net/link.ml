@@ -67,6 +67,7 @@ let dst t = t.dst
 let bandwidth t = t.bandwidth
 let prop_delay t = t.prop_delay
 let discipline t = Discipline.kind t.queue
+let capacity t = Discipline.capacity t.queue
 
 (* Buffer occupancy includes the packet being serialized, matching the
    paper's capacity analysis C = floor(B + 2P). *)

@@ -57,6 +57,10 @@ val prop_delay : t -> float
 (** The gateway discipline this link's buffer runs. *)
 val discipline : t -> Discipline.kind
 
+(** The configured buffer capacity in packets (including the packet in
+    service); [None] means infinite. *)
+val capacity : t -> int option
+
 (** Current buffer occupancy (including the packet in service). *)
 val queue_length : t -> int
 

@@ -18,6 +18,8 @@ type t = {
   mutable all_links : Link.t list;  (* reverse order of creation *)
   mutable next_link_id : int;
   mutable next_packet_id : int;
+  mutable inject_hooks : (float -> Packet.t -> unit) list;
+  mutable deliver_hooks : (float -> Packet.t -> unit) list;
 }
 
 let create sim =
@@ -29,9 +31,23 @@ let create sim =
     all_links = [];
     next_link_id = 0;
     next_packet_id = 0;
+    inject_hooks = [];
+    deliver_hooks = [];
   }
 
 let sim t = t.sim
+let on_inject t f = t.inject_hooks <- f :: t.inject_hooks
+let on_deliver t f = t.deliver_hooks <- f :: t.deliver_hooks
+
+let fire_inject t p =
+  match t.inject_hooks with
+  | [] -> ()
+  | hooks -> List.iter (fun f -> f (Engine.Sim.now t.sim) p) hooks
+
+let fire_deliver t p =
+  match t.deliver_hooks with
+  | [] -> ()
+  | hooks -> List.iter (fun f -> f (Engine.Sim.now t.sim) p) hooks
 
 let refresh t =
   if t.array_stale then begin
@@ -104,11 +120,15 @@ let rec arrive t node_id (p : Packet.t) =
           (Printf.sprintf "Network: no endpoint for conn %d at host %s" p.conn
              n.name)
     in
+    let handle p =
+      fire_deliver t p;
+      handler p
+    in
     if n.proc_delay > 0. then
       ignore
-        (Engine.Sim.schedule t.sim ~delay:n.proc_delay (fun () -> handler p)
+        (Engine.Sim.schedule t.sim ~delay:n.proc_delay (fun () -> handle p)
           : Engine.Sim.handle)
-    else handler p
+    else handle p
 
 and forward _t n (p : Packet.t) =
   match Hashtbl.find_opt n.routes p.dst with
@@ -150,7 +170,9 @@ let send_from_host t ~host (p : Packet.t) =
   | None ->
     failwith
       (Printf.sprintf "Network: host %s has no route to node %d" n.name p.dst)
-  | Some link -> ignore (Link.send link p : [ `Ok | `Dropped ])
+  | Some link ->
+    fire_inject t p;
+    ignore (Link.send link p : [ `Ok | `Dropped ])
 
 let fresh_packet_id t =
   let id = t.next_packet_id in

@@ -64,6 +64,16 @@ val register_endpoint : t -> host:int -> conn:int -> (Packet.t -> unit) -> unit
     outgoing link immediately (transmission then queues as usual). *)
 val send_from_host : t -> host:int -> Packet.t -> unit
 
+(** [on_inject t f] observes every packet entering the network via
+    {!send_from_host}, before it is offered to the first link (so a packet
+    dropped at the first buffer is still observed). *)
+val on_inject : t -> (float -> Packet.t -> unit) -> unit
+
+(** [on_deliver t f] observes every packet handed to a host's transport
+    endpoint, at the instant the endpoint handler runs (i.e. after the
+    host's processing delay). *)
+val on_deliver : t -> (float -> Packet.t -> unit) -> unit
+
 (** Fresh unique packet id. *)
 val fresh_packet_id : t -> int
 

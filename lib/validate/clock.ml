@@ -1,0 +1,20 @@
+let name = "clock"
+
+type t = { report : Report.t; mutable last : float }
+
+let create report = { report; last = neg_infinity }
+
+let observe t time =
+  if time < t.last then
+    Report.add t.report ~time ~checker:name ~subject:"sim"
+      ~detail:
+        (Printf.sprintf "event clock went backwards: %g after %g" time t.last)
+  else if Float.is_nan time then
+    Report.add t.report ~time ~checker:name ~subject:"sim"
+      ~detail:"event clock is NaN"
+  else t.last <- time
+
+let attach report sim =
+  let t = create report in
+  Engine.Sim.on_event sim (observe t);
+  t

@@ -1,0 +1,93 @@
+let name = "conservation"
+
+type status = In_flight | Delivered | Dropped
+
+type t = {
+  report : Report.t;
+  table : (int, status) Hashtbl.t;  (* packet id -> status *)
+  mutable injected : int;
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let create report =
+  { report; table = Hashtbl.create 4096; injected = 0; delivered = 0;
+    dropped = 0 }
+
+let injected t = t.injected
+let delivered t = t.delivered
+let dropped t = t.dropped
+let in_flight t = t.injected - t.delivered - t.dropped
+
+let violation t ~time (p : Net.Packet.t) fmt =
+  Printf.ksprintf
+    (fun detail ->
+      Report.add t.report ~time ~checker:name
+        ~subject:
+          (Printf.sprintf "packet #%d conn=%d %s seq=%d" p.Net.Packet.id
+             p.Net.Packet.conn
+             (Net.Packet.kind_to_string p.Net.Packet.kind)
+             p.Net.Packet.seq)
+        ~detail)
+    fmt
+
+let observe_inject t ~time (p : Net.Packet.t) =
+  match Hashtbl.find_opt t.table p.Net.Packet.id with
+  | Some _ -> violation t ~time p "injected twice (duplicate packet id)"
+  | None ->
+    Hashtbl.replace t.table p.Net.Packet.id In_flight;
+    t.injected <- t.injected + 1
+
+let observe_drop t ~time (p : Net.Packet.t) =
+  match Hashtbl.find_opt t.table p.Net.Packet.id with
+  | Some In_flight ->
+    Hashtbl.replace t.table p.Net.Packet.id Dropped;
+    t.dropped <- t.dropped + 1
+  | Some Dropped -> violation t ~time p "dropped twice"
+  | Some Delivered -> violation t ~time p "dropped after delivery"
+  | None -> violation t ~time p "dropped but never injected"
+
+let observe_deliver t ~time (p : Net.Packet.t) =
+  match Hashtbl.find_opt t.table p.Net.Packet.id with
+  | Some In_flight ->
+    Hashtbl.replace t.table p.Net.Packet.id Delivered;
+    t.delivered <- t.delivered + 1
+  | Some Delivered -> violation t ~time p "delivered twice (duplicated)"
+  | Some Dropped -> violation t ~time p "delivered after being dropped"
+  | None -> violation t ~time p "delivered but never injected"
+
+(* End-of-run audit: every packet still sitting in a link buffer must be
+   accounted as in-flight, and the per-status counts must add up. *)
+let finalize t ~time ~links =
+  List.iter
+    (fun link ->
+      List.iter
+        (fun (p : Net.Packet.t) ->
+          match Hashtbl.find_opt t.table p.Net.Packet.id with
+          | Some In_flight -> ()
+          | Some Delivered ->
+            violation t ~time p "queued on link %s but already delivered"
+              (Net.Link.name link)
+          | Some Dropped ->
+            violation t ~time p "queued on link %s but already dropped"
+              (Net.Link.name link)
+          | None ->
+            violation t ~time p "queued on link %s but never injected"
+              (Net.Link.name link))
+        (Net.Link.contents link))
+    links;
+  if in_flight t < 0 then
+    Report.add t.report ~time ~checker:name ~subject:"network"
+      ~detail:
+        (Printf.sprintf
+           "negative in-flight count: injected %d, delivered %d, dropped %d"
+           t.injected t.delivered t.dropped)
+
+let attach report net =
+  let t = create report in
+  Net.Network.on_inject net (fun time p -> observe_inject t ~time p);
+  Net.Network.on_deliver net (fun time p -> observe_deliver t ~time p);
+  List.iter
+    (fun link -> Net.Link.on_drop link (fun time p -> observe_drop t ~time p))
+    (Net.Network.links net);
+  t

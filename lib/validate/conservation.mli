@@ -1,0 +1,33 @@
+(** Checker: packet conservation.
+
+    Every packet injected at a host must end exactly one way: delivered to
+    an endpoint, dropped by a buffer (with the drop observed), or still in
+    flight when the run ends.  Duplicate injection, duplicate delivery,
+    delivery after a drop, and drops of never-injected packets are all
+    violations.  {!finalize} additionally audits that every packet still
+    sitting in a link buffer is accounted as in-flight.
+
+    The [observe_*] functions are exposed so tests can feed synthetic
+    violating event streams. *)
+
+type t
+
+val name : string
+val create : Report.t -> t
+val observe_inject : t -> time:float -> Net.Packet.t -> unit
+val observe_drop : t -> time:float -> Net.Packet.t -> unit
+val observe_deliver : t -> time:float -> Net.Packet.t -> unit
+
+(** End-of-run audit over the given links' buffer contents. *)
+val finalize : t -> time:float -> links:Net.Link.t list -> unit
+
+val injected : t -> int
+val delivered : t -> int
+val dropped : t -> int
+
+(** [injected - delivered - dropped]. *)
+val in_flight : t -> int
+
+(** Wire the checker into a network: injection and delivery hooks plus the
+    drop hook of every link existing at attach time. *)
+val attach : Report.t -> Net.Network.t -> t

@@ -1,0 +1,82 @@
+let name = "fifo"
+
+type t = {
+  report : Report.t;
+  subject : string;
+  capacity : int option;
+  model : int Queue.t;  (* packet ids in expected departure order *)
+}
+
+let create report ~subject ~capacity =
+  { report; subject; capacity; model = Queue.create () }
+
+let add t ~time fmt =
+  Printf.ksprintf
+    (fun detail ->
+      Report.add t.report ~time ~checker:name ~subject:t.subject ~detail)
+    fmt
+
+let check_occupancy t ~time ~qlen =
+  if qlen < 0 then add t ~time "negative queue occupancy %d" qlen;
+  match t.capacity with
+  | Some c when qlen > c ->
+    add t ~time "occupancy %d exceeds configured buffer %d" qlen c
+  | _ -> ()
+
+let observe_enqueue t ~time (p : Net.Packet.t) ~qlen =
+  check_occupancy t ~time ~qlen;
+  Queue.push p.Net.Packet.id t.model
+
+(* Drop-tail never discards a queued packet: a drop is always the arriving
+   packet, and only when the buffer is full. *)
+let observe_drop t ~time (p : Net.Packet.t) =
+  let id = p.Net.Packet.id in
+  if Queue.fold (fun acc x -> acc || x = id) false t.model then
+    add t ~time "queued packet #%d discarded (drop-tail must reject arrivals)"
+      id;
+  match t.capacity with
+  | None -> add t ~time "packet #%d dropped by an infinite buffer" id
+  | Some c ->
+    let occupancy = Queue.length t.model in
+    if occupancy < c then
+      add t ~time "packet #%d tail-dropped with buffer at %d/%d" id occupancy c
+
+let observe_depart t ~time (p : Net.Packet.t) ~qlen =
+  check_occupancy t ~time ~qlen;
+  match Queue.take_opt t.model with
+  | None -> add t ~time "packet #%d departed from an empty queue" p.Net.Packet.id
+  | Some expected when expected <> p.Net.Packet.id ->
+    add t ~time "FIFO order violated: packet #%d departed before #%d"
+      p.Net.Packet.id expected;
+    (* Resynchronize so one reordering is reported once, not once per
+       subsequent departure: forget the model up to the departed packet. *)
+    let rec resync () =
+      match Queue.take_opt t.model with
+      | Some id when id = p.Net.Packet.id -> ()
+      | Some _ -> resync ()
+      | None -> ()
+    in
+    resync ()
+  | Some _ -> ()
+
+let finalize t ~time ~occupancy =
+  let modelled = Queue.length t.model in
+  if modelled <> occupancy then
+    add t ~time "end-of-run occupancy %d disagrees with modelled %d" occupancy
+      modelled
+
+let attach report link =
+  match Net.Link.discipline link with
+  | Net.Discipline.Fifo ->
+    let t =
+      create report
+        ~subject:(Printf.sprintf "link %s" (Net.Link.name link))
+        ~capacity:(Net.Link.capacity link)
+    in
+    Net.Link.on_enqueue link (fun time p qlen -> observe_enqueue t ~time p ~qlen);
+    Net.Link.on_drop link (fun time p -> observe_drop t ~time p);
+    Net.Link.on_depart link (fun time p qlen -> observe_depart t ~time p ~qlen);
+    Some t
+  | Net.Discipline.Random_drop _ | Net.Discipline.Fair_queue ->
+    (* Eviction and round-robin service are legitimately non-FIFO. *)
+    None

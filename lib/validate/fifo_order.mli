@@ -1,0 +1,31 @@
+(** Checker: per-link FIFO departure order and occupancy bounds.
+
+    Maintains a shadow queue of packet ids and verifies that (1) packets
+    depart a drop-tail link in exactly their enqueue order, (2) reported
+    occupancy stays within [0 .. capacity], and (3) drop-tail only rejects
+    arrivals, and only when the buffer is full.
+
+    Only meaningful for {!Net.Discipline.Fifo} links; {!attach} returns
+    [None] for the other disciplines (eviction and round-robin service are
+    legitimately non-FIFO).  The [observe_*] functions are exposed so tests
+    can feed a synthetic reordered/violating event stream. *)
+
+type t
+
+val name : string
+val create : Report.t -> subject:string -> capacity:int option -> t
+
+(** Feed a link event: [qlen] is the occupancy after the event, as passed
+    by the {!Net.Link} hooks. *)
+val observe_enqueue : t -> time:float -> Net.Packet.t -> qlen:int -> unit
+
+val observe_drop : t -> time:float -> Net.Packet.t -> unit
+val observe_depart : t -> time:float -> Net.Packet.t -> qlen:int -> unit
+
+(** Compare the shadow queue against the link's actual end-of-run
+    occupancy. *)
+val finalize : t -> time:float -> occupancy:int -> unit
+
+(** Wire the checker into a live link's hooks ([None] unless the link runs
+    drop-tail FIFO). *)
+val attach : Report.t -> Net.Link.t -> t option

@@ -1,0 +1,73 @@
+let name = "monotone"
+
+type conn_state = {
+  mutable max_ack_sent : int;  (* largest cumulative ACK injected, -1 if none *)
+  mutable next_new_seq : int;  (* next never-before-sent data sequence *)
+  mutable max_ack_delivered : int;  (* largest ACK handed to the sender *)
+}
+
+type t = { report : Report.t; conns : (int, conn_state) Hashtbl.t }
+
+let create report = { report; conns = Hashtbl.create 16 }
+
+let state t conn =
+  match Hashtbl.find_opt t.conns conn with
+  | Some s -> s
+  | None ->
+    let s = { max_ack_sent = -1; next_new_seq = 0; max_ack_delivered = 0 } in
+    Hashtbl.add t.conns conn s;
+    s
+
+let add t ~time ~conn fmt =
+  Printf.ksprintf
+    (fun detail ->
+      Report.add t.report ~time ~checker:name
+        ~subject:(Printf.sprintf "conn %d" conn)
+        ~detail)
+    fmt
+
+let observe_inject t ~time (p : Net.Packet.t) =
+  let s = state t p.Net.Packet.conn in
+  match p.Net.Packet.kind with
+  | Net.Packet.Ack ->
+    if p.Net.Packet.seq < s.max_ack_sent then
+      add t ~time ~conn:p.Net.Packet.conn
+        "cumulative ACK went backwards: %d after %d" p.Net.Packet.seq
+        s.max_ack_sent
+    else s.max_ack_sent <- p.Net.Packet.seq
+  | Net.Packet.Data ->
+    if p.Net.Packet.retransmit then begin
+      if p.Net.Packet.seq >= s.next_new_seq then
+        add t ~time ~conn:p.Net.Packet.conn
+          "retransmission of seq %d beyond highest sent %d" p.Net.Packet.seq
+          (s.next_new_seq - 1)
+    end
+    else begin
+      if p.Net.Packet.seq <> s.next_new_seq then
+        add t ~time ~conn:p.Net.Packet.conn
+          "new data sequence not contiguous: sent %d, expected %d"
+          p.Net.Packet.seq s.next_new_seq;
+      (* Resynchronize so one gap is reported once, not per packet. *)
+      s.next_new_seq <- max s.next_new_seq (p.Net.Packet.seq + 1)
+    end
+
+let observe_deliver t ~time:_ (p : Net.Packet.t) =
+  match p.Net.Packet.kind with
+  | Net.Packet.Ack ->
+    let s = state t p.Net.Packet.conn in
+    if p.Net.Packet.seq > s.max_ack_delivered then
+      s.max_ack_delivered <- p.Net.Packet.seq
+  | Net.Packet.Data -> ()
+
+(* Largest cumulative ACK actually handed to the sender's host; equals the
+   sender's [snd_una] once its endpoint has processed the ACK. *)
+let max_ack_delivered t ~conn =
+  match Hashtbl.find_opt t.conns conn with
+  | Some s -> s.max_ack_delivered
+  | None -> 0
+
+let attach report net =
+  let t = create report in
+  Net.Network.on_inject net (fun time p -> observe_inject t ~time p);
+  Net.Network.on_deliver net (fun time p -> observe_deliver t ~time p);
+  t

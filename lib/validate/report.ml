@@ -1,0 +1,54 @@
+type violation = {
+  time : float;
+  checker : string;
+  subject : string;
+  detail : string;
+}
+
+type t = {
+  max_kept : int;
+  mutable kept : violation list;  (* newest first, capped at max_kept *)
+  mutable total : int;
+}
+
+let default_max_kept = 50
+
+let create ?(max_kept = default_max_kept) () =
+  if max_kept < 1 then invalid_arg "Report.create: max_kept must be >= 1";
+  { max_kept; kept = []; total = 0 }
+
+let add t ~time ~checker ~subject ~detail =
+  t.total <- t.total + 1;
+  if t.total <= t.max_kept then
+    t.kept <- { time; checker; subject; detail } :: t.kept
+
+let total t = t.total
+let is_clean t = t.total = 0
+let violations t = List.rev t.kept
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[t=%.6f] %s (%s): %s" v.time v.checker v.subject v.detail
+
+let pp ppf t =
+  if is_clean t then Format.fprintf ppf "validation: clean (0 violations)"
+  else begin
+    Format.fprintf ppf "validation: %d violation%s" t.total
+      (if t.total = 1 then "" else "s");
+    if t.total > t.max_kept then
+      Format.fprintf ppf " (first %d shown)" t.max_kept;
+    List.iter
+      (fun v -> Format.fprintf ppf "@\n  %a" pp_violation v)
+      (violations t)
+  end
+
+let to_string t = Format.asprintf "%a" pp t
+
+let summary t =
+  if is_clean t then "clean (0 violations)"
+  else
+    match violations t with
+    | [] -> Printf.sprintf "%d violations" t.total
+    | first :: _ ->
+      Printf.sprintf "%d violation%s (first: %s at t=%.6f: %s)" t.total
+        (if t.total = 1 then "" else "s")
+        first.checker first.time first.detail

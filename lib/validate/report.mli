@@ -1,0 +1,39 @@
+(** Accumulator for invariant violations.
+
+    Checkers report violations here instead of raising, so one defect does
+    not mask later ones and a whole run can be diagnosed from a single
+    report.  Only the first [max_kept] violations are kept verbatim; the
+    total count is always exact. *)
+
+type violation = {
+  time : float;  (** simulated time of the violating event *)
+  checker : string;  (** checker name, e.g. ["conservation"] *)
+  subject : string;  (** what was being checked, e.g. ["link sw1->sw2"] *)
+  detail : string;
+}
+
+type t
+
+val default_max_kept : int
+
+(** @raise Invalid_argument if [max_kept < 1]. *)
+val create : ?max_kept:int -> unit -> t
+
+val add :
+  t -> time:float -> checker:string -> subject:string -> detail:string -> unit
+
+(** Exact count of violations recorded, kept or not. *)
+val total : t -> int
+
+val is_clean : t -> bool
+
+(** Kept violations in the order they were recorded. *)
+val violations : t -> violation list
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** One-line summary: ["clean (0 violations)"] or a count plus the first
+    violation. *)
+val summary : t -> string

@@ -1,0 +1,55 @@
+(* Golden-trace generator: runs the canonical one-way and two-way
+   scenarios (validation on) and prints a digest of each — drop count,
+   both utilizations, final congestion windows, and an MD5 checksum over
+   the full bottleneck queue series.
+
+   The output is diffed against the committed [golden.digest] by the
+   [runtest] alias; an intentional behaviour change is accepted with
+
+     dune promote test/golden/golden.digest
+
+   after eyeballing the new numbers against the paper's. *)
+
+let series_checksum s =
+  let buf = Buffer.create 4096 in
+  Trace.Series.iter s ~f:(fun ~time ~value ->
+      Buffer.add_string buf (Printf.sprintf "%.9g:%.9g;" time value));
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let digest (scenario : Core.Scenario.t) =
+  let r = Core.Runner.run scenario in
+  (match Core.Runner.validation_report r with
+  | Some report when not (Validate.Report.is_clean report) ->
+    (* A golden scenario must also be invariant-clean; bail loudly so the
+       digest never silently encodes a buggy run. *)
+    prerr_endline (Validate.Report.to_string report);
+    failwith "golden scenario violated an invariant"
+  | _ -> ());
+  Printf.printf "[%s]\n" scenario.Core.Scenario.name;
+  Printf.printf "drops = %d\n" (Trace.Drop_log.total r.Core.Runner.drops);
+  Printf.printf "util_fwd = %.6f\n" r.Core.Runner.util_fwd;
+  Printf.printf "util_bwd = %.6f\n" r.Core.Runner.util_bwd;
+  Array.iteri
+    (fun i (_, conn) ->
+      Printf.printf "cwnd_%d = %.6f\n" (i + 1)
+        (Tcp.Sender.cwnd (Tcp.Connection.sender conn)))
+    r.Core.Runner.conns;
+  Printf.printf "queue_fwd_md5 = %s\n"
+    (series_checksum (Trace.Queue_trace.series r.Core.Runner.q1));
+  Printf.printf "queue_bwd_md5 = %s\n"
+    (series_checksum (Trace.Queue_trace.series r.Core.Runner.q2));
+  print_newline ()
+
+let () =
+  let open Core.Scenario in
+  (* The paper's baseline: one connection over the long-wire dumbbell. *)
+  digest
+    (make ~name:"one-way" ~tau:1.0 ~buffer:(Some 20)
+       ~conns:[ conn Forward ]
+       ~duration:120. ~warmup:40. ~validate:true ());
+  (* Two-way traffic on the short wire: the regime where ACK compression
+     and out-of-phase queues appear (Figures 4-7). *)
+  digest
+    (make ~name:"two-way" ~tau:0.01 ~buffer:(Some 20)
+       ~conns:(stagger ~step:2. [ conn Forward; conn Reverse ])
+       ~duration:120. ~warmup:40. ~validate:true ())

@@ -26,6 +26,41 @@ let test_sync_out_of_phase () =
   Alcotest.(check bool) "out of phase" true (phase = Sync.Out_of_phase);
   Alcotest.(check bool) "strong anticorrelation" true (r < -0.9)
 
+(* Phase classification is a statement about the *shape* of the two
+   signals, so it must not depend on their units: scaling both series by
+   a positive factor leaves the phase and the correlation unchanged. *)
+let prop_sync_scale_invariant =
+  QCheck.Test.make ~name:"classify invariant under positive series scaling"
+    ~count:100
+    QCheck.(
+      pair
+        (pair
+           (list_of_size (Gen.int_range 4 40) (float_bound_inclusive 20.))
+           (list_of_size (Gen.int_range 4 40) (float_bound_inclusive 20.)))
+        (float_range 0.05 40.))
+    (fun ((vs_a, vs_b), scale) ->
+      let series vs k =
+        let s = Trace.Series.create () in
+        List.iteri
+          (fun i v -> Trace.Series.add s ~time:(float_of_int i) ~value:(k *. v))
+          vs;
+        s
+      in
+      let t1 = float_of_int (max (List.length vs_a) (List.length vs_b)) in
+      let classify k =
+        Sync.classify (series vs_a k) (series vs_b k) ~t0:0. ~t1 ~dt:0.5
+      in
+      (* Near-constant signals sit on the correlation's degenerate-variance
+         cutoff, where scaling can flip the fallback branch. *)
+      let grid vs =
+        Trace.Series.resample (series vs 1.) ~t0:0. ~t1 ~dt:0.5
+      in
+      QCheck.assume
+        (Stats.variance (grid vs_a) > 1e-6 && Stats.variance (grid vs_b) > 1e-6);
+      let phase, r = classify 1. in
+      let phase', r' = classify scale in
+      phase = phase' && Float.abs (r -. r') < 1e-6)
+
 let test_sync_unclassified () =
   let a = sine ~t0:0. ~t1:100. ~dt:0.1 () in
   let b = Trace.Series.of_list [ (0., 5.) ] in
@@ -308,6 +343,7 @@ let suite =
       Alcotest.test_case "sync in-phase" `Quick test_sync_in_phase;
       Alcotest.test_case "sync out-of-phase" `Quick test_sync_out_of_phase;
       Alcotest.test_case "sync unclassified" `Quick test_sync_unclassified;
+      QCheck_alcotest.to_alcotest prop_sync_scale_invariant;
       Alcotest.test_case "clustering complete" `Quick test_clustering_complete;
       Alcotest.test_case "clustering interleaved" `Quick
         test_clustering_interleaved;

@@ -110,6 +110,31 @@ let prop_conserves_elements =
       let added = List.sort compare (List.map snd events) in
       popped = added)
 
+(* Stability: among entries sharing a timestamp, pop order is insertion
+   order.  Payloads are insertion indices, so within each time bucket the
+   popped indices must be increasing. *)
+let prop_stable_ties =
+  QCheck.Test.make ~name:"same-time events pop in insertion order" ~count:300
+    (* few distinct times -> many ties *)
+    QCheck.(list (int_bound 5))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iteri
+        (fun i time -> Event_queue.add q ~time:(float_of_int time) i)
+        times;
+      let rec drain acc =
+        match Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (t, i) -> drain ((t, i) :: acc)
+      in
+      let popped = drain [] in
+      let rec stable = function
+        | (t1, i1) :: ((t2, i2) :: _ as rest) ->
+          (t1 < t2 || (t1 = t2 && i1 < i2)) && stable rest
+        | _ -> true
+      in
+      stable popped)
+
 let suite =
   ( "event_queue",
     [
@@ -123,4 +148,5 @@ let suite =
       Alcotest.test_case "growth" `Quick test_growth;
       QCheck_alcotest.to_alcotest prop_sorted;
       QCheck_alcotest.to_alcotest prop_conserves_elements;
+      QCheck_alcotest.to_alcotest prop_stable_ties;
     ] )

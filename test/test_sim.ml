@@ -73,23 +73,56 @@ let test_zero_delay () =
   Alcotest.(check (list string)) "zero delay ordering" [ "outer"; "inner" ]
     (List.rev !log)
 
+(* The exact Invalid_argument messages are part of the interface: schedule
+   and at (and run) each distinguish NaN from out-of-range and name the
+   offending value.  Pinned so they cannot drift apart again. *)
 let test_negative_delay_rejected () =
   let sim = Sim.create () in
   Alcotest.check_raises "negative delay"
-    (Invalid_argument "Sim.schedule: negative or NaN delay") (fun () ->
+    (Invalid_argument "Sim.schedule: negative delay -1") (fun () ->
       ignore (Sim.schedule sim ~delay:(-1.) (fun () -> ()) : Sim.handle))
+
+let test_nan_rejected () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "NaN delay" (Invalid_argument "Sim.schedule: NaN delay")
+    (fun () ->
+      ignore (Sim.schedule sim ~delay:Float.nan (fun () -> ()) : Sim.handle));
+  Alcotest.check_raises "NaN time" (Invalid_argument "Sim.at: NaN time")
+    (fun () ->
+      ignore (Sim.at sim ~time:Float.nan (fun () -> ()) : Sim.handle));
+  Alcotest.check_raises "NaN horizon" (Invalid_argument "Sim.run: NaN horizon")
+    (fun () -> Sim.run sim ~until:Float.nan)
 
 let test_at_past_rejected () =
   let sim = Sim.create () in
   ignore (Sim.schedule sim ~delay:5. (fun () -> ()) : Sim.handle);
   Sim.run sim ~until:5.;
-  let raised =
-    try
-      ignore (Sim.at sim ~time:1. (fun () -> ()) : Sim.handle);
-      false
-    with Invalid_argument _ -> true
-  in
-  Alcotest.(check bool) "past time rejected" true raised
+  Alcotest.check_raises "past time rejected"
+    (Invalid_argument "Sim.at: time 1 is before current time 5") (fun () ->
+      ignore (Sim.at sim ~time:1. (fun () -> ()) : Sim.handle))
+
+let test_run_past_horizon_rejected () =
+  let sim = Sim.create () in
+  Sim.run sim ~until:5.;
+  Alcotest.check_raises "past horizon rejected"
+    (Invalid_argument "Sim.run: horizon 3 is before current time 5") (fun () ->
+      Sim.run sim ~until:3.)
+
+let test_run_horizon_semantics () =
+  let sim = Sim.create () in
+  let fired = ref false in
+  (* An event exactly at the horizon runs, and the clock lands on it. *)
+  ignore (Sim.schedule sim ~delay:7. (fun () -> fired := true) : Sim.handle);
+  Sim.run sim ~until:7.;
+  Alcotest.(check bool) "event at horizon fires" true !fired;
+  Alcotest.(check (float 0.)) "clock is exactly the horizon" 7. (Sim.now sim);
+  (* Re-running to the same horizon is a no-op. *)
+  Sim.run sim ~until:7.;
+  Alcotest.(check (float 0.)) "idempotent" 7. (Sim.now sim);
+  (* With only future events, the clock still lands on the horizon. *)
+  ignore (Sim.schedule sim ~delay:100. (fun () -> ()) : Sim.handle);
+  Sim.run sim ~until:10.;
+  Alcotest.(check (float 0.)) "horizon without events" 10. (Sim.now sim)
 
 let test_events_run () =
   let sim = Sim.create () in
@@ -113,6 +146,44 @@ let test_step () =
   ignore (Sim.step sim ~until:10. : bool);
   Alcotest.(check bool) "exhausted" false (Sim.step sim ~until:10.)
 
+let test_on_event_observer () =
+  let sim = Sim.create () in
+  let seen = ref [] in
+  Sim.on_event sim (fun time -> seen := time :: !seen);
+  ignore (Sim.schedule sim ~delay:1. (fun () -> ()) : Sim.handle);
+  let h = Sim.schedule sim ~delay:2. (fun () -> ()) in
+  ignore (Sim.schedule sim ~delay:3. (fun () -> ()) : Sim.handle);
+  Sim.cancel h;
+  Sim.run sim ~until:10.;
+  Alcotest.(check (list (float 1e-9)))
+    "observer sees non-cancelled events in order" [ 1.; 3. ]
+    (List.rev !seen)
+
+(* Cancel semantics under random schedules: exactly the non-cancelled
+   events fire, each once, and no handle stays pending after a drain. *)
+let prop_cancel_semantics =
+  QCheck.Test.make ~name:"cancel semantics under random schedules" ~count:200
+    QCheck.(list (pair (float_bound_inclusive 50.) bool))
+    (fun events ->
+      let sim = Sim.create () in
+      let fired = Array.make (List.length events) 0 in
+      let handles =
+        List.mapi
+          (fun i (delay, _) ->
+            Sim.schedule sim ~delay (fun () -> fired.(i) <- fired.(i) + 1))
+          events
+      in
+      List.iteri
+        (fun i (_, cancelled) ->
+          if cancelled then Sim.cancel (List.nth handles i))
+        events;
+      Sim.run_to_completion sim;
+      List.for_all2
+        (fun h ((_, cancelled), count) ->
+          (not (Sim.pending h)) && count = (if cancelled then 0 else 1))
+        handles
+        (List.combine events (Array.to_list fired)))
+
 let suite =
   ( "sim",
     [
@@ -124,7 +195,15 @@ let suite =
       Alcotest.test_case "zero delay" `Quick test_zero_delay;
       Alcotest.test_case "negative delay rejected" `Quick
         test_negative_delay_rejected;
+      Alcotest.test_case "NaN rejected with distinct messages" `Quick
+        test_nan_rejected;
       Alcotest.test_case "at past rejected" `Quick test_at_past_rejected;
+      Alcotest.test_case "run past horizon rejected" `Quick
+        test_run_past_horizon_rejected;
+      Alcotest.test_case "run horizon semantics" `Quick
+        test_run_horizon_semantics;
+      Alcotest.test_case "on_event observer" `Quick test_on_event_observer;
       Alcotest.test_case "events_run counts" `Quick test_events_run;
       Alcotest.test_case "step" `Quick test_step;
+      QCheck_alcotest.to_alcotest prop_cancel_semantics;
     ] )

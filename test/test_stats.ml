@@ -55,6 +55,28 @@ let prop_pearson_bounded =
       let r = Stats.pearson xs ys in
       r >= -1.0000001 && r <= 1.0000001)
 
+(* Pearson correlation is invariant under positive affine maps of either
+   argument: r(a*x + b, y) = r(x, y) for a > 0. *)
+let prop_pearson_affine_invariant =
+  QCheck.Test.make ~name:"pearson invariant under positive affine scaling"
+    ~count:200
+    QCheck.(
+      triple
+        (list_of_size (Gen.int_range 2 30)
+           (pair (float_bound_inclusive 10.) (float_bound_inclusive 10.)))
+        (float_range 0.1 50.)
+        (float_bound_inclusive 100.))
+    (fun (pairs, scale, offset) ->
+      let xs = Array.of_list (List.map fst pairs) in
+      let ys = Array.of_list (List.map snd pairs) in
+      (* Near-constant inputs sit on pearson's degenerate-variance cutoff,
+         where scaling can flip the 0 fallback; the identity only holds
+         away from it. *)
+      QCheck.assume
+        (Stats.variance xs > 1e-6 && Stats.variance ys > 1e-6);
+      let xs' = Array.map (fun v -> (scale *. v) +. offset) xs in
+      Float.abs (Stats.pearson xs' ys -. Stats.pearson xs ys) < 1e-6)
+
 let prop_median_bounded =
   QCheck.Test.make ~name:"median within [min, max]" ~count:200
     QCheck.(list_of_size (Gen.int_range 1 50) (float_bound_inclusive 100.))
@@ -74,5 +96,6 @@ let suite =
       Alcotest.test_case "histogram" `Quick test_histogram;
       Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
       QCheck_alcotest.to_alcotest prop_pearson_bounded;
+      QCheck_alcotest.to_alcotest prop_pearson_affine_invariant;
       QCheck_alcotest.to_alcotest prop_median_bounded;
     ] )

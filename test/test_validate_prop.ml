@@ -1,0 +1,78 @@
+(* Property: ANY scenario the generator can express runs with a clean
+   invariant report, and the harness's on-the-wire ACK accounting agrees
+   exactly with each sender's delivered count.  This is the strongest
+   whole-system statement in the suite: every checker (clock,
+   conservation, FIFO, sequence discipline, Tahoe rules) holds across a
+   random slice of the parameter space the paper explores. *)
+
+open QCheck
+
+type spec = {
+  tau : float;
+  buffer : int option;
+  n_fwd : int;
+  n_rev : int;
+  maxwnd : int;
+  delayed_ack : bool;
+  stagger : float;
+}
+
+let spec_gen =
+  let open Gen in
+  let* tau = oneofl [ 0.01; 0.1; 0.5; 1.0 ] in
+  let* buffer = oneof [ return None; map (fun b -> Some b) (int_range 3 30) ] in
+  let* n_fwd = int_range 1 3 in
+  let* n_rev = int_range 0 2 in
+  let* maxwnd = int_range 8 32 in
+  let* delayed_ack = bool in
+  let* stagger = float_range 0. 5. in
+  return { tau; buffer; n_fwd; n_rev; maxwnd; delayed_ack; stagger }
+
+let spec_print s =
+  Printf.sprintf
+    "{tau=%g; buffer=%s; fwd=%d; rev=%d; maxwnd=%d; delack=%b; stagger=%g}"
+    s.tau
+    (match s.buffer with None -> "inf" | Some b -> string_of_int b)
+    s.n_fwd s.n_rev s.maxwnd s.delayed_ack s.stagger
+
+let scenario_of_spec
+    { tau; buffer; n_fwd; n_rev; maxwnd; delayed_ack; stagger = step } =
+  let open Core.Scenario in
+  let conns dir n = List.init n (fun _ -> conn ~maxwnd ~delayed_ack dir) in
+  make ~name:"random" ~tau ~buffer
+    ~conns:(stagger ~step (conns Forward n_fwd @ conns Reverse n_rev))
+    ~duration:60. ~warmup:20. ~validate:true ()
+
+let prop_random_scenarios_clean =
+  Test.make ~name:"random scenarios run clean under all checkers" ~count:60
+    (QCheck.make ~print:spec_print spec_gen)
+    (fun s ->
+      let r = Core.Runner.run (scenario_of_spec s) in
+      let h =
+        match r.Core.Runner.validation with
+        | Some h -> h
+        | None -> Test.fail_report "validation harness missing"
+      in
+      let report = Validate.Harness.report h in
+      if not (Validate.Report.is_clean report) then
+        Test.fail_report (Validate.Report.to_string report);
+      (* Cross-check: what each sender believes it delivered is exactly
+         the largest cumulative ACK the network handed back to it. *)
+      Array.iteri
+        (fun i (_, conn) ->
+          let sender_view = Tcp.Connection.delivered conn in
+          let wire_view = Validate.Harness.max_ack_delivered h ~conn:(i + 1) in
+          if sender_view <> wire_view then
+            Test.fail_reportf
+              "conn %d: sender delivered %d but largest ACK on the wire is %d"
+              (i + 1) sender_view wire_view)
+        r.Core.Runner.conns;
+      (* And the conservation ledger balances. *)
+      let c = Validate.Harness.conservation h in
+      Validate.Conservation.injected c
+      = Validate.Conservation.delivered c
+        + Validate.Conservation.dropped c
+        + Validate.Conservation.in_flight c)
+
+let suite =
+  ("validate-prop", [ QCheck_alcotest.to_alcotest prop_random_scenarios_clean ])
