@@ -269,6 +269,59 @@ let run_overhead () =
   Printf.printf "overhead:       %8.1f %%\n" (100. *. ((on /. off) -. 1.))
 
 (* ------------------------------------------------------------------ *)
+(* 5. Fault-injection overhead                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Cost of the lib/faults hook point.  Three configurations of the same
+   300 sim-second two-way run:
+     none     — no plan installed: the link must keep its fast path
+                (a single option check per send/departure)
+     zero     — a plan installed whose models never fire (loss=0, dup=0,
+                jitter=0): per-packet RNG draws and in-propagation
+                tracking, but no injected faults
+     lossy    — 2% Bernoulli loss actually injected
+   "none" vs the seed's fault-free runtime is the acceptance criterion:
+   installing nothing must cost nothing measurable. *)
+let run_faults_overhead () =
+  banner "FAULT-INJECTION OVERHEAD: lib/faults hook point";
+  let scenario ~faults =
+    Core.Scenario.make ~name:"faults-overhead" ~tau:0.01 ~buffer:(Some 20)
+      ~conns:
+        [
+          Core.Scenario.conn Core.Scenario.Forward;
+          Core.Scenario.conn ~start_time:1. Core.Scenario.Reverse;
+        ]
+      ~duration:300. ~warmup:10. ?faults ()
+  in
+  let time ~faults =
+    let reps = 5 in
+    ignore (Core.Runner.run (scenario ~faults) : Core.Runner.result);
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (Core.Runner.run (scenario ~faults) : Core.Runner.result);
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let plan spec = Some [ (Core.Scenario.Fwd_bottleneck, spec) ] in
+  let none = time ~faults:None in
+  let zero =
+    time
+      ~faults:
+        (plan
+           (Faults.Spec.make ~loss:(Faults.Spec.Bernoulli 0.)
+              ~jitter:{ Faults.Spec.bound = 0.; preserve_order = true }
+              ~duplicate:0. ()))
+  in
+  let lossy = time ~faults:(plan (Faults.Spec.bernoulli 0.02)) in
+  Printf.printf "no plan installed:   %8.2f ms\n" (1000. *. none);
+  Printf.printf "zero-rate plan:      %8.2f ms  (%+.1f %%)\n" (1000. *. zero)
+    (100. *. ((zero /. none) -. 1.));
+  Printf.printf "2%% bernoulli loss:   %8.2f ms  (%+.1f %%)\n" (1000. *. lossy)
+    (100. *. ((lossy /. none) -. 1.))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -283,6 +336,9 @@ let () =
       0
     | [ "overhead" ] ->
       run_overhead ();
+      0
+    | [ "faults-overhead" ] ->
+      run_faults_overhead ();
       0
     | [] ->
       let outcomes = run_experiments [] in

@@ -74,10 +74,169 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Reproduce the paper's tables and figures.")
     Term.(const run_experiment $ name_arg $ quick_flag $ json)
 
+(* ---------------- fault flags ---------------- *)
+
+type fault_cli = {
+  loss : float option;
+  burst : (float * float * float) option;
+  outage : (float * float) list;
+  jitter : float option;
+  jitter_reorder : bool;
+  dup : float option;
+  dir : string;
+  seed : int;
+}
+
+(* Turn the flags into scenario fault sites; [None] when no fault flag was
+   given, so fault-free runs keep the exact no-faults fast path. *)
+let fault_sites cli =
+  if
+    cli.loss = None && cli.burst = None && cli.outage = [] && cli.jitter = None
+    && cli.dup = None
+  then None
+  else begin
+    (match (cli.loss, cli.burst) with
+     | Some _, Some _ ->
+       prerr_endline "--loss and --burst-loss are mutually exclusive";
+       exit 2
+     | _ -> ());
+    let spec =
+      try
+        Faults.Spec.make
+          ?loss:
+            (match (cli.loss, cli.burst) with
+             | Some p, _ -> Some (Faults.Spec.Bernoulli p)
+             | None, Some (p_enter, p_exit, loss_in_burst) ->
+               Some
+                 (Faults.Spec.Gilbert_elliott
+                    { p_enter; p_exit; loss_in_burst; loss_outside = 0. })
+             | None, None -> None)
+          ?outage:
+            (match cli.outage with
+             | [] -> None
+             | windows -> Some { Faults.Spec.windows; flap = None })
+          ?jitter:
+            (Option.map
+               (fun bound ->
+                 { Faults.Spec.bound; preserve_order = not cli.jitter_reorder })
+               cli.jitter)
+          ?duplicate:cli.dup ()
+      with Invalid_argument msg ->
+        prerr_endline msg;
+        exit 2
+    in
+    let sites =
+      match cli.dir with
+      | "fwd" -> [ (Core.Scenario.Fwd_bottleneck, spec) ]
+      | "bwd" -> [ (Core.Scenario.Bwd_bottleneck, spec) ]
+      | "both" ->
+        [
+          (Core.Scenario.Fwd_bottleneck, spec);
+          (Core.Scenario.Bwd_bottleneck, spec);
+        ]
+      | other ->
+        prerr_endline ("unknown --fault-dir " ^ other ^ " (fwd|bwd|both)");
+        exit 2
+    in
+    Some sites
+  end
+
+let float_list_conv ~expected ~of_list =
+  let parse s =
+    try
+      of_list
+        (List.map
+           (fun x -> float_of_string (String.trim x))
+           (String.split_on_char ',' s))
+    with _ -> Error (`Msg expected)
+  in
+  let print ppf _ = Format.fprintf ppf "<fault spec>" in
+  Arg.conv (parse, print)
+
+let burst_conv =
+  float_list_conv ~expected:"expected P_ENTER,P_EXIT,P_LOSS" ~of_list:(function
+    | [ a; b; c ] -> Ok (a, b, c)
+    | _ -> Error (`Msg "expected P_ENTER,P_EXIT,P_LOSS"))
+
+let outage_conv =
+  let rec pair_up = function
+    | [] -> Ok []
+    | start :: stop :: rest ->
+      Result.map (fun tl -> (start, stop) :: tl) (pair_up rest)
+    | [ _ ] -> Error (`Msg "expected START,STOP pairs")
+  in
+  float_list_conv ~expected:"expected START,STOP[,START,STOP...]"
+    ~of_list:pair_up
+
+let fault_term =
+  let loss =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "loss" ] ~docv:"P"
+          ~doc:"Drop each packet entering the faulted link with probability P.")
+  in
+  let burst =
+    Arg.(
+      value
+      & opt (some burst_conv) None
+      & info [ "burst-loss" ] ~docv:"P_ENTER,P_EXIT,P_LOSS"
+          ~doc:
+            "Gilbert-Elliott bursty loss: enter a burst with P_ENTER per \
+             packet, leave with P_EXIT, and drop with P_LOSS while inside.")
+  in
+  let outage =
+    Arg.(
+      value
+      & opt outage_conv []
+      & info [ "outage" ] ~docv:"START,STOP[,...]"
+          ~doc:
+            "Take the faulted link down over each [START,STOP) window \
+             (seconds); everything in flight at the cut is lost.")
+  in
+  let jitter =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "jitter" ] ~docv:"SECONDS"
+          ~doc:"Add uniform extra latency in [0, SECONDS) per departure.")
+  in
+  let jitter_reorder =
+    Arg.(
+      value & flag
+      & info [ "jitter-reorder" ]
+          ~doc:"Let jitter reorder deliveries (default preserves FIFO order).")
+  in
+  let dup =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "dup" ] ~docv:"P"
+          ~doc:"Duplicate each admitted packet with probability P.")
+  in
+  let dir =
+    Arg.(
+      value & opt string "fwd"
+      & info [ "fault-dir" ] ~docv:"DIR"
+          ~doc:"Bottleneck link(s) to fault: fwd, bwd, or both.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "fault-seed" ] ~docv:"N"
+          ~doc:"Seed for the fault RNG streams.")
+  in
+  let mk loss burst outage jitter jitter_reorder dup dir seed =
+    { loss; burst; outage; jitter; jitter_reorder; dup; dir; seed }
+  in
+  Term.(
+    const mk $ loss $ burst $ outage $ jitter $ jitter_reorder $ dup $ dir
+    $ seed)
+
 (* ---------------- run ---------------- *)
 
 let run_custom tau buffer fwd rev fixed delack ack_size algorithm pacing
-    gateway flow_size skew duration warmup csv_dir validate =
+    gateway flow_size skew duration warmup csv_dir validate faults_cli =
   if fwd + rev = 0 && fixed = None then begin
     prerr_endline "nothing to simulate: need --fwd, --rev or --fixed";
     exit 2
@@ -123,9 +282,14 @@ let run_custom tau buffer fwd rev fixed delack ack_size algorithm pacing
   let buffer = if buffer <= 0 then None else Some buffer in
   let scenario =
     Core.Scenario.make ~name:"custom" ~tau ~buffer ~gateway ~conns ~duration
-      ~warmup ~validate ()
+      ~warmup ~validate
+      ?faults:(fault_sites faults_cli)
+      ~fault_seed:faults_cli.seed ()
   in
   let r = Core.Runner.run scenario in
+  List.iter
+    (fun (_site, plan) -> Printf.printf "faults: %s\n" (Faults.Plan.summary plan))
+    r.fault_plans;
   Printf.printf "scenario: tau=%gs buffer=%s pipe=%.3g pkts\n" tau
     (match buffer with Some b -> string_of_int b | None -> "infinite")
     (Core.Scenario.pipe scenario);
@@ -277,7 +441,7 @@ let run_cmd =
     Term.(
       const run_custom $ tau $ buffer $ fwd $ rev $ fixed $ delack $ ack_size
       $ algorithm $ pacing $ gateway $ flow_size $ skew $ duration $ warmup
-      $ csv $ validate_flag)
+      $ csv $ validate_flag $ fault_term)
 
 (* ---------------- plot ---------------- *)
 

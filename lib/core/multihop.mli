@@ -11,7 +11,10 @@ type spec = {
   buffer : int option;
   duration : float;
   warmup : float;
-  seed : int;  (** start-time jitter *)
+  seed : int;  (** start-time jitter, and the fault-plan RNG streams *)
+  trunk_faults : (int * Faults.Spec.t) list;
+      (** fault plans, one per trunk index (attached to the right-going
+          link of that trunk); default none *)
 }
 
 val default_spec : spec
@@ -28,6 +31,9 @@ type result = {
   drops : Trace.Drop_log.t;
   t0 : float;
   t1 : float;
+  fault_plans : (int * Faults.Plan.t) list;
+      (** live plans (with injection ledgers), one per [trunk_faults]
+          entry *)
 }
 
 val run : spec -> result

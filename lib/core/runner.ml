@@ -16,6 +16,7 @@ type result = {
   t1 : float;
   delivered : int array;
   validation : Validate.Harness.t option;
+  fault_plans : (Scenario.fault_site * Faults.Plan.t) list;
 }
 
 (* NETSIM_VALIDATE=1 (any value but "" / "0") forces validation on for
@@ -51,6 +52,21 @@ let run (scenario : Scenario.t) =
            let config = connection_config dumbbell ~conn_id:(i + 1) spec in
            (spec, Tcp.Connection.create dumbbell.net config))
          scenario.conns)
+  in
+  (* Fault plans go on before the validation harness so every checker is
+     born knowing the link has a fault hook point; hook order itself does
+     not matter (the link announces faults before firing drop hooks). *)
+  let fault_plans =
+    List.map
+      (fun (site, spec) ->
+        let link =
+          match site with
+          | Scenario.Fwd_bottleneck -> dumbbell.Net.Topology.fwd
+          | Scenario.Bwd_bottleneck -> dumbbell.Net.Topology.bwd
+        in
+        (site, Faults.Plan.install dumbbell.net link ~seed:scenario.fault_seed
+                 spec))
+      scenario.faults
   in
   let validation =
     if scenario.validate || env_forces_validation () then
@@ -137,6 +153,7 @@ let run (scenario : Scenario.t) =
     t1 = scenario.duration;
     delivered;
     validation;
+    fault_plans;
   }
 
 let validation_report r =

@@ -22,6 +22,9 @@ type result = {
   validation : Validate.Harness.t option;
       (** the invariant-checking harness, when the scenario (or the
           [NETSIM_VALIDATE] environment variable) enabled validation *)
+  fault_plans : (Scenario.fault_site * Faults.Plan.t) list;
+      (** live fault plans (with their injection ledgers), one per entry
+          in [scenario.faults] *)
 }
 
 (** Build and run to completion.  When validation is enabled the

@@ -47,6 +47,8 @@ let fixed_conn ?(start_time = 0.) ?(ack_size = 50) ~window dir =
     flow_size = None;
   }
 
+type fault_site = Fwd_bottleneck | Bwd_bottleneck
+
 type t = {
   name : string;
   tau : float;
@@ -57,15 +59,21 @@ type t = {
   warmup : float;
   sample_dt : float;
   validate : bool;
+  faults : (fault_site * Faults.Spec.t) list;
+  fault_seed : int;
 }
 
 let make ~name ~tau ~buffer ?(gateway = Net.Discipline.Fifo) ~conns
     ?(duration = 600.) ?(warmup = 200.) ?(sample_dt = 0.5)
-    ?(validate = false) () =
+    ?(validate = false) ?(faults = []) ?(fault_seed = 1) () =
   if conns = [] then invalid_arg "Scenario.make: no connections";
   if duration <= warmup then invalid_arg "Scenario.make: duration <= warmup";
   if sample_dt <= 0. then invalid_arg "Scenario.make: sample_dt <= 0";
-  { name; tau; buffer; gateway; conns; duration; warmup; sample_dt; validate }
+  let sites = List.map fst faults in
+  if List.length (List.sort_uniq compare sites) <> List.length sites then
+    invalid_arg "Scenario.make: duplicate fault site";
+  { name; tau; buffer; gateway; conns; duration; warmup; sample_dt; validate;
+    faults; fault_seed }
 
 let data_packet_size = 500
 

@@ -45,6 +45,11 @@ val conn :
 val fixed_conn :
   ?start_time:float -> ?ack_size:int -> window:int -> direction -> conn_spec
 
+(** Where a fault plan attaches on the dumbbell: the bottleneck link
+    carrying forward data (and reverse ACKs), or the one carrying
+    reverse data (and forward ACKs). *)
+type fault_site = Fwd_bottleneck | Bwd_bottleneck
+
 type t = {
   name : string;
   tau : float;  (** bottleneck propagation delay, s *)
@@ -58,6 +63,12 @@ type t = {
       (** run the {!Validate.Harness} invariant checkers alongside the
           simulation (default [false]; the [NETSIM_VALIDATE] environment
           variable forces it on) *)
+  faults : (fault_site * Faults.Spec.t) list;
+      (** fault plans to install on the bottleneck links (at most one
+          per site); default none *)
+  fault_seed : int;
+      (** seed for the fault RNG streams, independent of everything
+          else in the scenario; default 1 *)
 }
 
 val make :
@@ -70,6 +81,8 @@ val make :
   ?warmup:float ->
   ?sample_dt:float ->
   ?validate:bool ->
+  ?faults:(fault_site * Faults.Spec.t) list ->
+  ?fault_seed:int ->
   unit ->
   t
 

@@ -8,6 +8,19 @@ type counters = {
   mutable dep_bytes : int;
 }
 
+type fault_event =
+  | Fault_drop of string
+  | Fault_duplicate
+  | Fault_delay of float
+
+type verdict = [ `Pass | `Drop of string | `Duplicate ]
+
+type fault_plan = {
+  ingress : Packet.t -> verdict;
+  extra_delay : Packet.t -> float;
+  clone : Packet.t -> Packet.t;
+}
+
 type t = {
   sim : Engine.Sim.t;
   id : int;
@@ -25,12 +38,24 @@ type t = {
   mutable enqueue_hooks : (float -> Packet.t -> int -> unit) list;
   mutable drop_hooks : (float -> Packet.t -> unit) list;
   mutable depart_hooks : (float -> Packet.t -> int -> unit) list;
+  (* Fault injection (lib/faults).  [faults = None] is the default and the
+     hot path: a single option check per send/departure.  When a plan is
+     installed the link additionally tracks packets in propagation
+     ([in_prop]) so an outage can kill everything in flight. *)
+  mutable faults : fault_plan option;
+  mutable fault_hooks : (float -> fault_event -> Packet.t -> unit) list;
+  mutable down : bool;
+  mutable tx_handle : Engine.Sim.handle option;
+  in_prop : (int, Packet.t * Engine.Sim.handle) Hashtbl.t;
 }
 
 let create ?(discipline = Discipline.Fifo) sim ~id ~name ~src ~dst ~bandwidth
     ~prop_delay ~buffer =
   if bandwidth <= 0. then invalid_arg "Link.create: bandwidth must be positive";
   if prop_delay < 0. then invalid_arg "Link.create: negative propagation delay";
+  (match buffer with
+   | Some b when b <= 0 -> invalid_arg "Link.create: buffer must be positive"
+   | _ -> ());
   {
     sim;
     id;
@@ -57,6 +82,11 @@ let create ?(discipline = Discipline.Fifo) sim ~id ~name ~src ~dst ~bandwidth
     enqueue_hooks = [];
     drop_hooks = [];
     depart_hooks = [];
+    faults = None;
+    fault_hooks = [];
+    down = false;
+    tx_handle = None;
+    in_prop = Hashtbl.create 16;
   }
 
 let set_deliver t f = t.deliver <- f
@@ -91,6 +121,10 @@ let busy_time t ~now =
 let on_enqueue t f = t.enqueue_hooks <- f :: t.enqueue_hooks
 let on_drop t f = t.drop_hooks <- f :: t.drop_hooks
 let on_depart t f = t.depart_hooks <- f :: t.depart_hooks
+let on_fault t f = t.fault_hooks <- f :: t.fault_hooks
+
+let fire_fault t event p =
+  List.iter (fun f -> f (Engine.Sim.now t.sim) event p) t.fault_hooks
 
 let fire_enqueue t p qlen =
   List.iter (fun f -> f (Engine.Sim.now t.sim) p qlen) t.enqueue_hooks
@@ -119,9 +153,8 @@ let rec maybe_start t =
       t.in_service <- Some p;
       t.busy_since <- Engine.Sim.now t.sim;
       let tx = tx_time t ~bytes:p.Packet.size in
-      ignore
-        (Engine.Sim.schedule t.sim ~delay:tx (fun () -> finish t p)
-          : Engine.Sim.handle)
+      t.tx_handle <-
+        Some (Engine.Sim.schedule t.sim ~delay:tx (fun () -> finish t p))
 
 and finish t p =
   (match t.in_service with
@@ -130,18 +163,40 @@ and finish t p =
   let now = Engine.Sim.now t.sim in
   t.busy_accum <- t.busy_accum +. (now -. t.busy_since);
   t.in_service <- None;
+  t.tx_handle <- None;
   (match p.Packet.kind with
    | Packet.Data -> t.counters.dep_data <- t.counters.dep_data + 1
    | Packet.Ack -> t.counters.dep_ack <- t.counters.dep_ack + 1);
   t.counters.dep_bytes <- t.counters.dep_bytes + p.Packet.size;
   fire_depart t p (queue_length t);
   let deliver = t.deliver in
-  ignore
-    (Engine.Sim.schedule t.sim ~delay:t.prop_delay (fun () -> deliver p)
-      : Engine.Sim.handle);
+  (match t.faults with
+   | None ->
+     ignore
+       (Engine.Sim.schedule t.sim ~delay:t.prop_delay (fun () -> deliver p)
+         : Engine.Sim.handle)
+   | Some plan ->
+     let extra = plan.extra_delay p in
+     if extra > 0. then fire_fault t (Fault_delay extra) p;
+     let key = p.Packet.id in
+     let h =
+       Engine.Sim.schedule t.sim ~delay:(t.prop_delay +. extra) (fun () ->
+           Hashtbl.remove t.in_prop key;
+           deliver p)
+     in
+     Hashtbl.replace t.in_prop key (p, h));
   maybe_start t
 
-let send t p =
+(* A fault discard never touched the buffer; it is still a drop as far as
+   counters and drop observers (conservation, drop logs) are concerned.
+   The fault hook fires first so checkers know the coming drop is
+   intentional. *)
+and fault_discard t p ~label =
+  fire_fault t (Fault_drop label) p;
+  count_drop t p;
+  fire_drop t p
+
+and admit t p =
   let in_service = match t.in_service with Some _ -> 1 | None -> 0 in
   match Discipline.enqueue t.queue p ~in_service with
   | Discipline.Rejected ->
@@ -161,3 +216,76 @@ let send t p =
     fire_enqueue t p (queue_length t);
     maybe_start t;
     `Ok
+
+let send t p =
+  match t.faults with
+  | None -> admit t p
+  | Some plan ->
+    if t.down then begin
+      fault_discard t p ~label:"outage";
+      `Dropped
+    end
+    else begin
+      match plan.ingress p with
+      | `Pass -> admit t p
+      | `Drop label ->
+        fault_discard t p ~label;
+        `Dropped
+      | `Duplicate ->
+        let outcome = admit t p in
+        (* The copy is a new wire entity (fresh id); it bypasses the
+           ingress filter so duplication cannot cascade. *)
+        let copy = plan.clone p in
+        fire_fault t Fault_duplicate copy;
+        ignore (admit t copy : [ `Ok | `Dropped ]);
+        outcome
+    end
+
+let install_faults t ~ingress ~extra_delay ~clone =
+  t.faults <- Some { ingress; extra_delay; clone }
+
+let has_faults t = t.faults <> None
+let is_down t = t.down
+
+let set_down t flag =
+  if t.faults = None then
+    invalid_arg "Link.set_down: no fault plan installed";
+  if flag <> t.down then begin
+    t.down <- flag;
+    if flag then begin
+      (* The cut loses everything in flight: the packet being serialized,
+         the queue behind it (flushed in FIFO order, so order-sensitive
+         checkers can follow along), and packets already in propagation. *)
+      (match t.in_service with
+       | Some p ->
+         (match t.tx_handle with
+          | Some h -> Engine.Sim.cancel h
+          | None -> ());
+         t.tx_handle <- None;
+         t.busy_accum <-
+           t.busy_accum +. (Engine.Sim.now t.sim -. t.busy_since);
+         t.in_service <- None;
+         fault_discard t p ~label:"outage"
+       | None -> ());
+      let rec drain () =
+        match Discipline.dequeue t.queue with
+        | Some p ->
+          fault_discard t p ~label:"outage";
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      let propagating =
+        Hashtbl.fold (fun _ (p, h) acc -> (p, h) :: acc) t.in_prop []
+        |> List.sort (fun (a, _) (b, _) ->
+               compare a.Packet.id b.Packet.id)
+      in
+      Hashtbl.reset t.in_prop;
+      List.iter
+        (fun (p, h) ->
+          Engine.Sim.cancel h;
+          fault_discard t p ~label:"outage")
+        propagating
+    end
+    else maybe_start t
+  end

@@ -45,9 +45,19 @@ let sample t rtt =
 let srtt t = if t.nsamples = 0 then None else Some t.srtt
 let rttvar t = if t.nsamples = 0 then None else Some t.rttvar
 
+(* Pure float rounding: truncating through [int_of_float] is undefined
+   for values outside the native int range, so a huge [x] (e.g. an
+   unclamped backoff product) could round to garbage or even negative.
+   Above 2^53 ticks the float grid is coarser than the tick anyway and
+   [x] is already (representationally) a multiple of [g]. *)
 let round_up_to_tick t x =
   let g = t.params.granularity in
-  if g <= 0. then x else g *. Float.of_int (int_of_float (ceil (x /. g)))
+  if g <= 0. then x
+  else
+    let ticks = ceil (x /. g) in
+    if Float.is_nan ticks || Float.abs ticks >= 9007199254740992. (* 2^53 *)
+    then x
+    else g *. ticks
 
 let base_timeout t =
   if t.nsamples = 0 then t.params.initial_timeout

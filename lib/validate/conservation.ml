@@ -47,6 +47,15 @@ let observe_drop t ~time (p : Net.Packet.t) =
   | Some Delivered -> violation t ~time p "dropped after delivery"
   | None -> violation t ~time p "dropped but never injected"
 
+(* A fault-injected duplicate is a new wire entity born inside the
+   network: ledger it as injected so its later delivery (or drop)
+   balances.  Fault drops need no special casing — the link fires its
+   ordinary drop hook for them. *)
+let observe_fault t ~time (event : Net.Link.fault_event) (p : Net.Packet.t) =
+  match event with
+  | Net.Link.Fault_duplicate -> observe_inject t ~time p
+  | Net.Link.Fault_drop _ | Net.Link.Fault_delay _ -> ()
+
 let observe_deliver t ~time (p : Net.Packet.t) =
   match Hashtbl.find_opt t.table p.Net.Packet.id with
   | Some In_flight ->
@@ -88,6 +97,8 @@ let attach report net =
   Net.Network.on_inject net (fun time p -> observe_inject t ~time p);
   Net.Network.on_deliver net (fun time p -> observe_deliver t ~time p);
   List.iter
-    (fun link -> Net.Link.on_drop link (fun time p -> observe_drop t ~time p))
+    (fun link ->
+      Net.Link.on_drop link (fun time p -> observe_drop t ~time p);
+      Net.Link.on_fault link (fun time event p -> observe_fault t ~time event p))
     (Net.Network.links net);
   t

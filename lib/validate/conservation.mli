@@ -18,6 +18,11 @@ val observe_inject : t -> time:float -> Net.Packet.t -> unit
 val observe_drop : t -> time:float -> Net.Packet.t -> unit
 val observe_deliver : t -> time:float -> Net.Packet.t -> unit
 
+(** Fault events (lib/faults): a [Fault_duplicate] copy is ledgered as a
+    fresh injection so the balance still holds under fault injection;
+    fault drops arrive through the ordinary drop path. *)
+val observe_fault : t -> time:float -> Net.Link.fault_event -> Net.Packet.t -> unit
+
 (** End-of-run audit over the given links' buffer contents. *)
 val finalize : t -> time:float -> links:Net.Link.t list -> unit
 
@@ -29,5 +34,5 @@ val dropped : t -> int
 val in_flight : t -> int
 
 (** Wire the checker into a network: injection and delivery hooks plus the
-    drop hook of every link existing at attach time. *)
+    drop and fault hooks of every link existing at attach time. *)
 val attach : Report.t -> Net.Network.t -> t

@@ -5,10 +5,18 @@ type t = {
   subject : string;
   capacity : int option;
   model : int Queue.t;  (* packet ids in expected departure order *)
+  sanctioned : (int, unit) Hashtbl.t;
+      (* ids whose next drop was announced as a fault injection *)
 }
 
 let create report ~subject ~capacity =
-  { report; subject; capacity; model = Queue.create () }
+  {
+    report;
+    subject;
+    capacity;
+    model = Queue.create ();
+    sanctioned = Hashtbl.create 8;
+  }
 
 let add t ~time fmt =
   Printf.ksprintf
@@ -27,19 +35,43 @@ let observe_enqueue t ~time (p : Net.Packet.t) ~qlen =
   check_occupancy t ~time ~qlen;
   Queue.push p.Net.Packet.id t.model
 
+let remove_from_model t id =
+  let keep = Queue.create () in
+  Queue.iter (fun x -> if x <> id then Queue.push x keep) t.model;
+  Queue.clear t.model;
+  Queue.transfer keep t.model
+
+(* A fault injection (lib/faults) may legally discard any packet — an
+   arriving one, a queued one flushed by an outage, even one already in
+   propagation.  The link announces the fault before firing the ordinary
+   drop hook, so we sanction the id here and let {!observe_drop} skip its
+   drop-tail reasoning exactly once. *)
+let observe_fault t ~time:_ (event : Net.Link.fault_event)
+    (p : Net.Packet.t) =
+  match event with
+  | Net.Link.Fault_drop _ ->
+    Hashtbl.replace t.sanctioned p.Net.Packet.id ();
+    remove_from_model t p.Net.Packet.id
+  | Net.Link.Fault_duplicate | Net.Link.Fault_delay _ -> ()
+
 (* Drop-tail never discards a queued packet: a drop is always the arriving
-   packet, and only when the buffer is full. *)
+   packet, and only when the buffer is full.  Fault-injected drops are
+   exempt: the link announces them through the fault hook first. *)
 let observe_drop t ~time (p : Net.Packet.t) =
   let id = p.Net.Packet.id in
-  if Queue.fold (fun acc x -> acc || x = id) false t.model then
-    add t ~time "queued packet #%d discarded (drop-tail must reject arrivals)"
-      id;
-  match t.capacity with
-  | None -> add t ~time "packet #%d dropped by an infinite buffer" id
-  | Some c ->
-    let occupancy = Queue.length t.model in
-    if occupancy < c then
-      add t ~time "packet #%d tail-dropped with buffer at %d/%d" id occupancy c
+  if Hashtbl.mem t.sanctioned id then Hashtbl.remove t.sanctioned id
+  else begin
+    if Queue.fold (fun acc x -> acc || x = id) false t.model then
+      add t ~time "queued packet #%d discarded (drop-tail must reject arrivals)"
+        id;
+    match t.capacity with
+    | None -> add t ~time "packet #%d dropped by an infinite buffer" id
+    | Some c ->
+      let occupancy = Queue.length t.model in
+      if occupancy < c then
+        add t ~time "packet #%d tail-dropped with buffer at %d/%d" id occupancy
+          c
+  end
 
 let observe_depart t ~time (p : Net.Packet.t) ~qlen =
   check_occupancy t ~time ~qlen;
@@ -74,6 +106,7 @@ let attach report link =
         ~capacity:(Net.Link.capacity link)
     in
     Net.Link.on_enqueue link (fun time p qlen -> observe_enqueue t ~time p ~qlen);
+    Net.Link.on_fault link (fun time event p -> observe_fault t ~time event p);
     Net.Link.on_drop link (fun time p -> observe_drop t ~time p);
     Net.Link.on_depart link (fun time p qlen -> observe_depart t ~time p ~qlen);
     Some t

@@ -22,6 +22,14 @@ val observe_enqueue : t -> time:float -> Net.Packet.t -> qlen:int -> unit
 val observe_drop : t -> time:float -> Net.Packet.t -> unit
 val observe_depart : t -> time:float -> Net.Packet.t -> qlen:int -> unit
 
+(** Fault events (lib/faults): a [Fault_drop] sanctions the packet's
+    coming drop (and removes it from the shadow queue if an outage
+    flushed it while queued), so intentional discards are not reported
+    as drop-tail violations.  Duplicates and jitter need no handling:
+    copies enqueue normally and jitter only delays post-departure
+    propagation. *)
+val observe_fault : t -> time:float -> Net.Link.fault_event -> Net.Packet.t -> unit
+
 (** Compare the shadow queue against the link's actual end-of-run
     occupancy. *)
 val finalize : t -> time:float -> occupancy:int -> unit

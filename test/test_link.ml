@@ -131,6 +131,18 @@ let test_tx_time () =
   Alcotest.(check (float 1e-12)) "data" 0.08 (Link.tx_time link ~bytes:500);
   Alcotest.(check (float 1e-12)) "ack" 0.008 (Link.tx_time link ~bytes:50)
 
+let test_create_validation () =
+  let sim = Sim.create () in
+  let check_bad msg buffer =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
+        ignore (make_link sim ~buffer : Link.t))
+  in
+  check_bad "Link.create: buffer must be positive" (Some 0);
+  check_bad "Link.create: buffer must be positive" (Some (-3));
+  (* A positive or infinite buffer is fine. *)
+  ignore (make_link sim ~buffer:(Some 1) : Link.t);
+  ignore (make_link sim ~buffer:None : Link.t)
+
 let prop_conservation =
   (* enqueued = departed + still queued, for any arrival pattern *)
   QCheck.Test.make ~name:"link packet conservation" ~count:100
@@ -166,5 +178,6 @@ let suite =
       Alcotest.test_case "hooks" `Quick test_hooks;
       Alcotest.test_case "contents" `Quick test_contents;
       Alcotest.test_case "tx time" `Quick test_tx_time;
+      Alcotest.test_case "create validation" `Quick test_create_validation;
       QCheck_alcotest.to_alcotest prop_conservation;
     ] )

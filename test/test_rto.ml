@@ -63,6 +63,25 @@ let test_backoff_cap () =
   Alcotest.(check bool) "capped at max_timeout" true (Rto.timeout r <= 64.);
   Alcotest.(check int) "backoff count capped" 6 (Rto.backoff_count r)
 
+let test_huge_sample () =
+  (* A huge RTT used to overflow [int_of_float] inside the tick rounding,
+     producing a garbage (negative) timeout that the clamp then collapsed
+     to [min_timeout].  It must saturate at [max_timeout] instead. *)
+  let r = Rto.create Rto.default_params in
+  Rto.sample r 1e18;
+  Alcotest.(check (float 1e-9)) "saturates at max" 64. (Rto.timeout r);
+  (* With no upper clamp the rounded value must stay finite, positive and
+     no smaller than the raw estimate (rounding is always upward). *)
+  let unclamped =
+    { Rto.default_params with Rto.max_timeout = infinity; min_timeout = 1. }
+  in
+  let r = Rto.create unclamped in
+  Rto.sample r 1e18;
+  let t = Rto.timeout r in
+  let raw = 1e18 +. (4. *. 5e17) in
+  Alcotest.(check bool) "finite" true (Float.is_finite t);
+  Alcotest.(check bool) "no smaller than raw estimate" true (t >= raw)
+
 let test_bad_sample () =
   let r = Rto.create Rto.default_params in
   Alcotest.check_raises "negative rtt" (Invalid_argument "Rto.sample: bad RTT")
@@ -99,6 +118,7 @@ let suite =
       Alcotest.test_case "max clamp" `Quick test_max_clamp;
       Alcotest.test_case "backoff" `Quick test_backoff;
       Alcotest.test_case "backoff cap" `Quick test_backoff_cap;
+      Alcotest.test_case "huge sample saturates" `Quick test_huge_sample;
       Alcotest.test_case "bad sample" `Quick test_bad_sample;
       QCheck_alcotest.to_alcotest prop_timeout_bounded;
       QCheck_alcotest.to_alcotest prop_srtt_tracks;
