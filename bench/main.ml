@@ -1,9 +1,11 @@
 (* bench/main.exe — regenerates every table and figure of the paper and
    micro-benchmarks the simulator substrate.
 
-     dune exec bench/main.exe              full run (everything)
-     dune exec bench/main.exe -- fig45     one experiment table
-     dune exec bench/main.exe -- micro     only the bechamel benchmarks
+     dune exec bench/main.exe                   full run (everything)
+     dune exec bench/main.exe -- fig45          one experiment table
+     dune exec bench/main.exe -- micro          only the bechamel benchmarks
+     dune exec bench/main.exe -- micro --json   ... and write BENCH_micro.json
+     dune exec bench/main.exe -- sweep          pool scaling; BENCH_sweep.json
 
    Sections:
      1. paper reproduction — one paper-vs-measured table per figure/table
@@ -193,8 +195,9 @@ let bench_series =
         fun () ->
           ignore (Trace.Series.resample s ~t0:0. ~t1:10_000. ~dt:1. : float array)))
 
-let run_micro () =
-  banner "MICRO-BENCHMARKS (bechamel): simulator substrate";
+(* Returns (name, nanoseconds-per-run option) pairs, sorted by name, so
+   the caller can render a table or machine-readable JSON. *)
+let measure_micro () =
   let tests =
     [
       bench_event_queue;
@@ -213,24 +216,123 @@ let run_micro () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
-  Printf.printf "%-36s %14s\n" "benchmark" "time/run";
+  let rows = ref [] in
   List.iter
     (fun test ->
       let raw = Benchmark.all cfg instances test in
       let results = Analyze.all ols Instance.monotonic_clock raw in
       Hashtbl.iter
         (fun name ols_result ->
-          match Analyze.OLS.estimates ols_result with
-          | Some (t :: _) ->
-            let pretty =
-              if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
-              else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
-              else Printf.sprintf "%.0f ns" t
-            in
-            Printf.printf "%-36s %14s\n" name pretty
-          | _ -> Printf.printf "%-36s %14s\n" name "n/a")
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (t :: _) -> Some t
+            | _ -> None
+          in
+          rows := (name, ns) :: !rows)
         results)
-    tests
+    tests;
+  List.sort (fun (a, _) (b, _) -> compare a b) !rows
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let run_micro ~json () =
+  banner "MICRO-BENCHMARKS (bechamel): simulator substrate";
+  let rows = measure_micro () in
+  Printf.printf "%-36s %14s\n" "benchmark" "time/run";
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        match ns with
+        | None -> "n/a"
+        | Some t ->
+          if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+          else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
+          else Printf.sprintf "%.0f ns" t
+      in
+      Printf.printf "%-36s %14s\n" name pretty)
+    rows;
+  if json then begin
+    let file = "BENCH_micro.json" in
+    let oc = open_out file in
+    output_string oc "{\n";
+    List.iteri
+      (fun i (name, ns) ->
+        Printf.fprintf oc "  \"%s\": %s%s\n" (json_escape name)
+          (match ns with
+           | Some t -> Printf.sprintf "%.1f" t
+           | None -> "null")
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
+    output_string oc "}\n";
+    close_out oc;
+    Printf.printf "wrote %s (nanoseconds per run)\n" file
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Sweep scaling: the parallel pool at jobs 1 / 2 / 4                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Times the full Fig-8 buffer grid through Sweep.Driver at several job
+   counts, checks that every job count produces byte-identical JSON, and
+   records the numbers in BENCH_sweep.json.  Speedup is whatever the host
+   delivers — on a single-core container jobs > 1 only buys fork overhead,
+   so the core count is recorded next to the timings. *)
+let run_sweep_bench () =
+  banner "SWEEP SCALING: fig8 grid through the worker pool";
+  let grid = Sweep.Grids.fig8 in
+  let points = grid.points ~quick:false in
+  let n = List.length points in
+  let reps = 3 in
+  let time jobs =
+    ignore (Sweep.Driver.run ~jobs points : Sweep.Summary.t list);
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (Sweep.Driver.run ~jobs points : Sweep.Summary.t list);
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let job_counts = [ 1; 2; 4 ] in
+  let timings = List.map (fun j -> (j, time j)) job_counts in
+  let reference = Sweep.Driver.to_json (Sweep.Driver.run ~jobs:1 points) in
+  let byte_identical =
+    List.for_all
+      (fun j -> Sweep.Driver.to_json (Sweep.Driver.run ~jobs:j points) = reference)
+      job_counts
+  in
+  let t1 = List.assoc 1 timings in
+  let cores = Sweep_pool.cores () in
+  Printf.printf "grid: %s (%d points), best of %d runs, %d core(s)\n"
+    grid.name n reps cores;
+  List.iter
+    (fun (j, t) ->
+      Printf.printf "jobs=%d: %8.3f s  (speedup %.2fx)\n" j t (t1 /. t))
+    timings;
+  Printf.printf "output byte-identical across job counts: %b\n" byte_identical;
+  let file = "BENCH_sweep.json" in
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n  \"grid\": \"%s\",\n  \"points\": %d,\n  \"cores\": %d,\n\
+    \  \"reps\": %d,\n  \"runs\": [\n%s\n  ],\n\
+    \  \"byte_identical\": %b\n}\n"
+    grid.name n cores reps
+    (String.concat ",\n"
+       (List.map
+          (fun (j, t) ->
+            Printf.sprintf
+              "    {\"jobs\": %d, \"seconds\": %.4f, \"speedup\": %.3f}" j t
+              (t1 /. t))
+          timings))
+    byte_identical;
+  close_out oc;
+  Printf.printf "wrote %s\n" file;
+  if byte_identical then 0 else 1
 
 (* ------------------------------------------------------------------ *)
 (* 4. Validation overhead                                              *)
@@ -329,8 +431,12 @@ let () =
   let exit_code =
     match args with
     | [ "micro" ] ->
-      run_micro ();
+      run_micro ~json:false ();
       0
+    | [ "micro"; "--json" ] ->
+      run_micro ~json:true ();
+      0
+    | [ "sweep" ] -> run_sweep_bench ()
     | [ "gallery" ] ->
       run_gallery ();
       0
@@ -343,7 +449,7 @@ let () =
     | [] ->
       let outcomes = run_experiments [] in
       run_gallery ();
-      run_micro ();
+      run_micro ~json:false ();
       banner "DONE";
       let all_pass = List.for_all Core.Report.all_passed outcomes in
       Printf.printf "paper reproduction: %s\n"

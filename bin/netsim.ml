@@ -443,6 +443,75 @@ let run_cmd =
       $ algorithm $ pacing $ gateway $ flow_size $ skew $ duration $ warmup
       $ csv $ validate_flag $ fault_term)
 
+(* ---------------- sweep ---------------- *)
+
+let grid_names = List.map (fun (g : Sweep.Grids.spec) -> g.name) Sweep.Grids.all
+
+let run_sweep grid_name jobs out quick list_grids =
+  if list_grids then begin
+    List.iter
+      (fun (g : Sweep.Grids.spec) -> Printf.printf "%-14s %s\n" g.name g.title)
+      Sweep.Grids.all;
+    0
+  end
+  else
+    match Sweep.Grids.find grid_name with
+    | None ->
+      prerr_endline
+        ("unknown grid " ^ grid_name ^ "; expected one of: "
+        ^ String.concat ", " grid_names);
+      2
+    | Some grid ->
+      let points = grid.points ~quick in
+      let started = Unix.gettimeofday () in
+      let summaries = Sweep.Driver.run ~jobs points in
+      let elapsed = Unix.gettimeofday () -. started in
+      Sweep.Driver.print_table summaries;
+      (* Timing goes to stdout only — the JSON must be a pure function
+         of the grid so --jobs N output diffs clean against --jobs 1. *)
+      Printf.printf "%d points in %.2fs with %d job(s)\n" (List.length points)
+        elapsed (max 1 jobs);
+      (match out with
+       | None -> ()
+       | Some file ->
+         let oc = open_out file in
+         output_string oc (Sweep.Driver.to_json summaries);
+         close_out oc;
+         Printf.printf "wrote %s\n" file);
+      0
+
+let sweep_cmd =
+  let grid_arg =
+    Arg.(
+      value & pos 0 string "fig8"
+      & info [] ~docv:"GRID"
+          ~doc:("Grid to sweep: " ^ String.concat ", " grid_names ^ "."))
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int (Sweep_pool.default_jobs ())
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker processes (default $(b,NETSIM_JOBS) or 1). Results are \
+             bit-identical for every N.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write per-point summaries as deterministic JSON to FILE.")
+  in
+  let list_grids =
+    Arg.(value & flag & info [ "list" ] ~doc:"List available grids and exit.")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Run a scenario grid across parallel workers.")
+    Term.(
+      const run_sweep $ grid_arg $ jobs $ out $ quick_flag $ list_grids)
+
 (* ---------------- plot ---------------- *)
 
 let plottable = [ "fig2"; "fig3"; "fig45"; "fig67"; "fig8"; "fig9" ]
@@ -545,6 +614,6 @@ let main =
        ~doc:
          "Dynamics of the BSD 4.3-Tahoe TCP congestion control algorithm \
           under two-way traffic (Zhang, Shenker & Clark, SIGCOMM '91).")
-    [ experiment_cmd; run_cmd; plot_cmd; dump_cmd ]
+    [ experiment_cmd; run_cmd; sweep_cmd; plot_cmd; dump_cmd ]
 
 let () = exit (Cmd.eval' main)

@@ -5,8 +5,9 @@
    behavior which does not fit neatly into our in-phase/out-of-phase
    taxonomy."
 
-   This example sweeps buffer size x propagation delay for the two-way
-   1+1 configuration and classifies each run by its queue phase and
+   This example runs the Sweep.Grids.mode_atlas grid — buffer size x
+   propagation delay for the two-way 1+1 configuration, fanned out across
+   the worker pool — and classifies each cell by its queue phase and
    per-epoch loss pattern, mapping where each mode lives.
 
    Legend:
@@ -14,45 +15,47 @@
      I=  in-phase, both connections lose each epoch (the Figure 6 mode)
      O=, I-, ??  the paper's "less common" mixtures
 
-   Run with:  dune exec examples/mode_atlas.exe   (~10 s) *)
+   Run with:  dune exec examples/mode_atlas.exe -- --jobs 4   (~10 s) *)
 
-let classify ~tau ~buffer =
-  let scenario =
-    Core.Scenario.make
-      ~name:(Printf.sprintf "atlas-%g-%d" tau buffer)
-      ~tau ~buffer:(Some buffer)
-      ~conns:
-        (Core.Scenario.stagger ~step:1.0
-           [
-             Core.Scenario.conn Core.Scenario.Forward;
-             Core.Scenario.conn Core.Scenario.Reverse;
-           ])
-      ~duration:400. ~warmup:150. ()
+let jobs_of_argv () =
+  let rec go = function
+    | "--jobs" :: n :: _ -> int_of_string n
+    | _ :: rest -> go rest
+    | [] -> Sweep_pool.default_jobs ()
   in
-  let r = Core.Runner.run scenario in
-  let phase, _ = Core.Runner.queue_phase r in
-  let epochs = Core.Runner.epochs r in
-  let single =
-    Option.value ~default:0. (Analysis.Epochs.single_loser_fraction epochs)
-  in
+  go (Array.to_list Sys.argv)
+
+let classify (s : Sweep.Summary.t) =
   let phase_mark =
-    match phase with
-    | Analysis.Sync.Out_of_phase -> 'O'
-    | Analysis.Sync.In_phase -> 'I'
-    | Analysis.Sync.Unclassified -> '?'
+    match s.phase with
+    | "out-of-phase" -> 'O'
+    | "in-phase" -> 'I'
+    | _ -> '?'
   in
+  let single = Option.value ~default:0. s.single_loser in
   let loss_mark =
-    if epochs = [] then '.'
+    if s.epoch_count = 0 then '.'
     else if single >= 0.8 then '-'  (* one connection takes the losses *)
     else if single <= 0.2 then '='  (* losses shared *)
     else '~'  (* mixed: the paper's "less common" patterns *)
   in
-  let util = 100. *. Float.max r.util_fwd r.util_bwd in
+  let util = 100. *. Float.max s.util_fwd s.util_bwd in
   (phase_mark, loss_mark, util)
 
 let () =
-  let taus = [ 0.01; 0.1; 0.25; 0.5; 1.0 ] in
-  let buffers = [ 10; 20; 40; 80 ] in
+  let taus = Sweep.Grids.mode_atlas_taus in
+  let buffers = Sweep.Grids.mode_atlas_buffers in
+  let points = Sweep.Grids.mode_atlas.points ~quick:false in
+  let summaries = Sweep.Driver.run ~jobs:(jobs_of_argv ()) points in
+  (* Row-major over buffer then tau, matching the printed rows. *)
+  let cells = ref summaries in
+  let next () =
+    match !cells with
+    | [] -> failwith "mode_atlas: grid shorter than expected"
+    | s :: rest ->
+      cells := rest;
+      s
+  in
   print_endline "Synchronization-mode atlas: two-way 1+1 traffic.";
   print_endline
     "cell = <phase><losses> util%   (O out-of-phase, I in-phase; - single\n\
@@ -66,8 +69,8 @@ let () =
     (fun buffer ->
       Printf.printf "%14d" buffer;
       List.iter
-        (fun tau ->
-          let phase, losses, util = classify ~tau ~buffer in
+        (fun _tau ->
+          let phase, losses, util = classify (next ()) in
           Printf.printf "%12s"
             (Printf.sprintf "%c%c %.0f%%" phase losses util))
         taus;

@@ -5,38 +5,42 @@
    out-of-phase with exactly one line full when |w1 - w2| > 2P, and
    in-phase with neither line full when |w1 - w2| < 2P.
 
-   This example sweeps the (w1, w2) plane at a fixed P and prints the
-   measured phase map; the conjectured boundary runs along the diagonals
-   w1 = w2 +/- 2P.
+   This example runs the Sweep.Grids.phase_diagram grid — the 49 cells are
+   independent simulations, so they fan out across the worker pool — and
+   prints the measured phase map; the conjectured boundary runs along the
+   diagonals w1 = w2 +/- 2P.
 
-   Run with:  dune exec examples/phase_diagram.exe   (~10 s) *)
+   Run with:  dune exec examples/phase_diagram.exe -- --jobs 4   (~10 s) *)
 
-let pipe_tau = 0.4  (* P = 12.5 * 0.4 = 5 packets: boundary at |w1-w2| = 10 *)
-
-let classify w1 w2 =
-  let scenario =
-    Core.Scenario.make
-      ~name:(Printf.sprintf "pd-%d-%d" w1 w2)
-      ~tau:pipe_tau ~buffer:None
-      ~conns:
-        [
-          Core.Scenario.fixed_conn ~window:w1 ~ack_size:0 ~start_time:0.37
-            Core.Scenario.Forward;
-          Core.Scenario.fixed_conn ~window:w2 ~ack_size:0 ~start_time:1.91
-            Core.Scenario.Reverse;
-        ]
-      ~duration:150. ~warmup:60. ()
+let jobs_of_argv () =
+  let rec go = function
+    | "--jobs" :: n :: _ -> int_of_string n
+    | _ :: rest -> go rest
+    | [] -> Sweep_pool.default_jobs ()
   in
-  let r = Core.Runner.run scenario in
-  Analysis.Conjecture.observe ~full_threshold:0.985 ~util1:r.util_fwd
-    ~util2:r.util_bwd ()
+  go (Array.to_list Sys.argv)
+
+let observe (s : Sweep.Summary.t) =
+  Analysis.Conjecture.observe ~full_threshold:0.985 ~util1:s.util_fwd
+    ~util2:s.util_bwd ()
 
 let () =
-  let windows = [ 6; 10; 14; 18; 22; 26; 30 ] in
+  let windows = Sweep.Grids.phase_diagram_windows in
   let pipe =
     Engine.Units.pipe_size
       ~rate_bps:(Engine.Units.kbps 50.)
-      ~delay:pipe_tau ~packet_bytes:500
+      ~delay:Sweep.Grids.phase_diagram_tau ~packet_bytes:500
+  in
+  let points = Sweep.Grids.phase_diagram.points ~quick:false in
+  let summaries = Sweep.Driver.run ~jobs:(jobs_of_argv ()) points in
+  (* The grid is row-major over w1 then w2; consume it cell by cell. *)
+  let cells = ref summaries in
+  let next () =
+    match !cells with
+    | [] -> failwith "phase_diagram: grid shorter than expected"
+    | s :: rest ->
+      cells := rest;
+      s
   in
   Printf.printf
     "Measured phase map, zero-size ACKs, P = %.1f packets.\n\
@@ -51,7 +55,7 @@ let () =
       Printf.printf "  w1 = %2d      " w1;
       List.iter
         (fun w2 ->
-          let observed = classify w1 w2 in
+          let observed = observe (next ()) in
           let mark =
             match observed with
             | Analysis.Conjecture.Out_of_phase_one_full -> 'O'

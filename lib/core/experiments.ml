@@ -528,14 +528,21 @@ let conjecture_table ?(speed = Full) () =
       (12, 12, 0.2);   (* 12 < 12 + 5 *)
     ]
   in
-  let check_case (w1, w2, tau) =
+  (* The cases are independent simulations; fan them out to the worker
+     pool (workers return plain float pairs, which marshal). *)
+  let utils =
+    Sweep_pool.map ~jobs:(Sweep_pool.default_jobs ())
+      (fun (w1, w2, tau) ->
+        let r = Runner.run (scenario_fixed ~ack_size:0 ~tau ~w1 ~w2 speed) in
+        (r.util_fwd, r.util_bwd))
+      cases
+  in
+  let check_case (w1, w2, tau) (util1, util2) =
     let scenario = scenario_fixed ~ack_size:0 ~tau ~w1 ~w2 speed in
-    let r = Runner.run scenario in
     let pipe = Scenario.pipe scenario in
     let predicted = Analysis.Conjecture.predict ~w1 ~w2 ~pipe in
     let observed =
-      Analysis.Conjecture.observe ~full_threshold:0.985 ~util1:r.util_fwd
-        ~util2:r.util_bwd ()
+      Analysis.Conjecture.observe ~full_threshold:0.985 ~util1 ~util2 ()
     in
     Report.expect
       ~metric:(fmt "w=(%d,%d) P=%.2f" w1 w2 pipe)
@@ -543,13 +550,13 @@ let conjecture_table ?(speed = Full) () =
       ~measured:
         (fmt "%s (%s / %s)"
            (Analysis.Conjecture.prediction_to_string observed)
-           (pct r.util_fwd) (pct r.util_bwd))
+           (pct util1) (pct util2))
       (Analysis.Conjecture.verdict predicted ~observed)
   in
   {
     Report.id = "TAB-CONJ";
     title = "zero-size-ACK fixed-window phase criterion (conjecture, 4.3.3)";
-    checks = List.map check_case cases;
+    checks = List.map2 check_case cases utils;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -570,15 +577,30 @@ let buffer_table ?(speed = Full) () =
          ~duration ~warmup ())
   in
   let twoway buffer = Runner.run (scenario_fig45_scaled ~buffer speed) in
-  let ow = List.map (fun b -> (b, (oneway b).util_fwd)) [ 20; 40; 80 ] in
+  (* One task list across both columns so a single worker pool covers
+     all six simulations; workers reduce results to marshalable tuples
+     before they cross the pipe. *)
+  let rows =
+    Sweep_pool.map ~jobs:(Sweep_pool.default_jobs ())
+      (fun task ->
+        match task with
+        | `Oneway b -> `Oneway (b, (oneway b).util_fwd)
+        | `Twoway b ->
+          let r = twoway b in
+          `Twoway
+            ( b,
+              Float.max r.util_fwd r.util_bwd,
+              Option.value ~default:0. (Runner.effective_pipe r) ))
+      (List.map (fun b -> `Oneway b) [ 20; 40; 80 ]
+      @ List.map (fun b -> `Twoway b) [ 20; 60; 120 ])
+  in
+  let ow =
+    List.filter_map (function `Oneway (b, u) -> Some (b, u) | _ -> None) rows
+  in
   let tw =
-    List.map
-      (fun b ->
-        let r = twoway b in
-        ( b,
-          Float.max r.util_fwd r.util_bwd,
-          Option.value ~default:0. (Runner.effective_pipe r) ))
-      [ 20; 60; 120 ]
+    List.filter_map
+      (function `Twoway (b, u, p) -> Some (b, u, p) | _ -> None)
+      rows
   in
   let show rows =
     String.concat ", " (List.map (fun (b, u) -> fmt "B=%d: %s" b (pct u)) rows)

@@ -2,12 +2,27 @@ type 'a entry = { time : float; seq : int; payload : 'a }
 
 type 'a t = {
   mutable heap : 'a entry array;
-  (* [heap.(0 .. size-1)] is a binary min-heap ordered by [(time, seq)]. *)
+  (* [heap.(0 .. size-1)] is a binary min-heap ordered by [(time, seq)].
+     Slots at indices >= size always hold [sentinel], never a stale entry:
+     a vacated slot that kept pointing at its old entry would keep the
+     payload (typically an event closure and everything it captures) alive
+     until the slot is overwritten by a later [add] — a space leak under
+     timer churn. *)
   mutable size : int;
   mutable next_seq : int;
 }
 
 let initial_capacity = 64
+
+(* One sentinel record serves every ['a]: its [payload] field is written
+   into slots outside the heap but never read ([peek]/[pop]/[iter] only
+   touch indices < size), so the cast cannot be observed.  The entry is a
+   mixed float/int/pointer record, hence boxed, hence representable
+   uniformly for any ['a]. *)
+let sentinel_entry : Obj.t entry =
+  { time = neg_infinity; seq = -1; payload = Obj.repr () }
+
+let sentinel () : 'a entry = Obj.magic sentinel_entry
 
 let create () = { heap = [||]; size = 0; next_seq = 0 }
 
@@ -41,11 +56,13 @@ let rec sift_down q i =
     sift_down q !smallest
   end
 
-let grow q entry =
+let grow q =
   let capacity = Array.length q.heap in
   if q.size = capacity then begin
     let new_capacity = max initial_capacity (2 * capacity) in
-    let heap = Array.make new_capacity entry in
+    (* Fill with the sentinel, not the incoming entry: filler copies of a
+       live entry in slots > size would pin its payload after it pops. *)
+    let heap = Array.make new_capacity (sentinel ()) in
     Array.blit q.heap 0 heap 0 q.size;
     q.heap <- heap
   end
@@ -54,7 +71,7 @@ let add q ~time payload =
   if Float.is_nan time then invalid_arg "Event_queue.add: NaN time";
   let entry = { time; seq = q.next_seq; payload } in
   q.next_seq <- q.next_seq + 1;
-  grow q entry;
+  grow q;
   q.heap.(q.size) <- entry;
   q.size <- q.size + 1;
   sift_up q (q.size - 1)
@@ -72,17 +89,41 @@ let pop q =
     q.size <- q.size - 1;
     if q.size > 0 then begin
       q.heap.(0) <- q.heap.(q.size);
+      q.heap.(q.size) <- sentinel ();
       sift_down q 0
-    end;
+    end
+    else q.heap.(0) <- sentinel ();
     Some (top.time, top.payload)
   end
 
 let length q = q.size
 let is_empty q = q.size = 0
-let clear q = q.size <- 0
+
+let clear q =
+  (* Drop the whole array rather than sentinel each slot: releases every
+     payload in O(1) and lets the capacity rebuild on demand. *)
+  q.heap <- [||];
+  q.size <- 0
 
 let iter q ~f =
   for i = 0 to q.size - 1 do
     let e = q.heap.(i) in
     f ~time:e.time e.payload
   done
+
+let filter_in_place q ~f =
+  let kept = ref [] in
+  for i = q.size - 1 downto 0 do
+    let e = q.heap.(i) in
+    if f e.payload then kept := e :: !kept;
+    q.heap.(i) <- sentinel ()
+  done;
+  let arr = Array.of_list !kept in
+  (* A (time, seq)-sorted array is a valid binary min-heap, and keeping
+     the original seq numbers preserves same-time FIFO delivery exactly
+     as if the removed entries had never been scheduled. *)
+  Array.sort
+    (fun a b -> if entry_before a b then -1 else if entry_before b a then 1 else 0)
+    arr;
+  Array.blit arr 0 q.heap 0 (Array.length arr);
+  q.size <- Array.length arr

@@ -13,7 +13,10 @@ val create : unit -> 'a t
     @raise Invalid_argument if [time] is NaN. *)
 val add : 'a t -> time:float -> 'a -> unit
 
-(** Remove and return the earliest event, or [None] if empty. *)
+(** Remove and return the earliest event, or [None] if empty.  The
+    vacated internal slot is cleared, so the queue holds no reference to
+    the returned payload afterwards (popped event closures are
+    collectable immediately, not when their slot happens to be reused). *)
 val pop : 'a t -> (float * 'a) option
 
 (** Earliest event without removing it. *)
@@ -22,8 +25,18 @@ val peek : 'a t -> (float * 'a) option
 val length : 'a t -> int
 val is_empty : 'a t -> bool
 
-(** Remove all events.  The insertion counter is preserved. *)
+(** Remove all events and release the backing storage, so every queued
+    payload becomes collectable at once.  The insertion counter is
+    preserved. *)
 val clear : 'a t -> unit
 
 (** Apply [f] to every queued event, in no particular order. *)
 val iter : 'a t -> f:(time:float -> 'a -> unit) -> unit
+
+(** [filter_in_place q ~f] removes every event whose payload fails [f],
+    in O(n log n), releasing the removed payloads.  Surviving events keep
+    their relative delivery order, including same-time FIFO ties — the
+    result is indistinguishable from a queue into which the removed
+    events were never inserted.  Used by {!Sim} to compact
+    cancelled-but-not-yet-due timer handles. *)
+val filter_in_place : 'a t -> f:('a -> bool) -> unit

@@ -1,26 +1,40 @@
 type event = { action : unit -> unit; mutable cancelled : bool }
-type handle = { event : event; mutable fired : bool }
 
 type t = {
   mutable clock : float;
   mutable executed : int;
   queue : handle Event_queue.t;
-  mutable observers : (float -> unit) list;
+  mutable observers : (float -> unit) list;  (* in registration order *)
+  mutable cancelled_pending : int;
+      (* cancelled handles still sitting in [queue]; drives compaction *)
 }
 
+and handle = { event : event; mutable fired : bool; sim : t }
+
 let create () =
-  { clock = 0.; executed = 0; queue = Event_queue.create (); observers = [] }
+  {
+    clock = 0.;
+    executed = 0;
+    queue = Event_queue.create ();
+    observers = [];
+    cancelled_pending = 0;
+  }
 
 let now t = t.clock
 let events_run t = t.executed
-let on_event t f = t.observers <- f :: t.observers
+let queue_length t = Event_queue.length t.queue
+
+(* Registration is rare and iteration is the hot path, so keep the list
+   in registration order (append) rather than reversing on every event:
+   validate/trace hooks rely on running in install order. *)
+let on_event t f = t.observers <- t.observers @ [ f ]
 
 let at t ~time f =
   if Float.is_nan time then invalid_arg "Sim.at: NaN time";
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Sim.at: time %g is before current time %g" time t.clock);
-  let handle = { event = { action = f; cancelled = false }; fired = false } in
+  let handle = { event = { action = f; cancelled = false }; fired = false; sim = t } in
   Event_queue.add t.queue ~time handle;
   handle
 
@@ -30,12 +44,35 @@ let schedule t ~delay f =
     invalid_arg (Printf.sprintf "Sim.schedule: negative delay %g" delay);
   at t ~time:(t.clock +. delay) f
 
-let cancel handle = handle.event.cancelled <- true
+(* Below this queue length a compaction pass costs more than it frees. *)
+let compaction_threshold = 64
+
+let cancel handle =
+  if (not handle.fired) && not handle.event.cancelled then begin
+    handle.event.cancelled <- true;
+    (* TCP retransmission timers are cancelled and rescheduled on every
+       ACK, so dead handles would otherwise pile up in the heap until
+       their scheduled time (an RTO in the future).  Compact once the
+       majority of the queue is dead: amortized O(1) per cancel, and the
+       queue length stays within 2x the live event count. *)
+    let t = handle.sim in
+    t.cancelled_pending <- t.cancelled_pending + 1;
+    let len = Event_queue.length t.queue in
+    if len >= compaction_threshold && 2 * t.cancelled_pending > len then begin
+      Event_queue.filter_in_place t.queue ~f:(fun h -> not h.event.cancelled);
+      t.cancelled_pending <- 0
+    end
+  end
+
 let pending handle = (not handle.fired) && not handle.event.cancelled
 
 let execute t handle =
   handle.fired <- true;
-  if not handle.event.cancelled then begin
+  if handle.event.cancelled then
+    (* Popped before compaction claimed it: it no longer counts toward
+       the dead fraction of the queue. *)
+    t.cancelled_pending <- t.cancelled_pending - 1
+  else begin
     t.executed <- t.executed + 1;
     (match t.observers with
      | [] -> ()

@@ -25,10 +25,15 @@ val now : t -> float
 (** Number of events executed so far. *)
 val events_run : t -> int
 
+(** Number of handles currently sitting in the event queue, including
+    cancelled ones that have not yet been compacted away.  Exposed so
+    tests can assert that cancel-heavy workloads stay bounded. *)
+val queue_length : t -> int
+
 (** [on_event t f] registers an observer called with the clock value each
     time a non-cancelled event is about to execute.  Observers run before
-    the event's action, in no guaranteed relative order.  Used by the
-    validation layer to check clock monotonicity; observers must not
+    the event's action, in registration order — validate/trace hooks
+    rely on running in the order they were installed.  Observers must not
     schedule or cancel events. *)
 val on_event : t -> (float -> unit) -> unit
 
@@ -41,7 +46,10 @@ val schedule : t -> delay:float -> (unit -> unit) -> handle
 val at : t -> time:float -> (unit -> unit) -> handle
 
 (** Cancel a scheduled event.  Cancelling an already-run or
-    already-cancelled event is a no-op. *)
+    already-cancelled event is a no-op.  When the majority of the queue
+    is cancelled handles (TCP RTO timers are cancelled and rescheduled on
+    every ACK), the queue is compacted in place, so the heap never holds
+    more than twice the number of live events (plus a small constant). *)
 val cancel : handle -> unit
 
 (** Has this handle's event neither run nor been cancelled yet? *)

@@ -1,0 +1,30 @@
+type point = {
+  id : string;
+  params : (string * float) list;
+  scenario : Core.Scenario.t;
+}
+
+let point ?id ?(params = []) scenario =
+  let id =
+    match id with Some i -> i | None -> scenario.Core.Scenario.name
+  in
+  { id; params; scenario }
+
+let run_point p =
+  Summary.of_result ~id:p.id ~params:p.params (Core.Runner.run p.scenario)
+
+let run ?jobs points =
+  let jobs = match jobs with Some j -> j | None -> Sweep_pool.default_jobs () in
+  Sweep_pool.map ~jobs run_point points
+
+let to_json = Summary.list_to_json
+
+let print_table summaries =
+  Printf.printf "%-18s %9s %9s %7s %14s %7s %7s\n" "point" "util-fwd"
+    "util-bwd" "drops" "phase" "q1-max" "q2-max";
+  List.iter
+    (fun (s : Summary.t) ->
+      Printf.printf "%-18s %8.1f%% %8.1f%% %7d %14s %7.0f %7.0f\n" s.id
+        (100. *. s.util_fwd) (100. *. s.util_bwd) s.drops_window s.phase
+        s.q1_max s.q2_max)
+    summaries

@@ -1,0 +1,34 @@
+(** Runs a grid of scenarios — possibly across a pool of worker
+    processes — and collects one {!Summary.t} per point.
+
+    {2 Determinism under parallelism}
+
+    Results are bit-identical for any [jobs] value: a point's simulation
+    depends only on its scenario (every RNG is seeded from scenario
+    configuration — the fault seed, the discipline seed — never from the
+    worker process, wall clock or job count), and {!Sweep_pool.map}
+    reassembles summaries by point index, not completion order. *)
+
+type point = {
+  id : string;  (** label in tables and JSON (defaults to scenario name) *)
+  params : (string * float) list;  (** grid coordinates, carried to JSON *)
+  scenario : Core.Scenario.t;
+}
+
+val point :
+  ?id:string -> ?params:(string * float) list -> Core.Scenario.t -> point
+
+(** Run one point in-process. *)
+val run_point : point -> Summary.t
+
+(** Run every point; summaries are returned in point order.  [jobs]
+    defaults to {!Sweep_pool.default_jobs} (the [NETSIM_JOBS] variable,
+    else 1).
+    @raise Failure if a worker process fails. *)
+val run : ?jobs:int -> point list -> Summary.t list
+
+(** {!Summary.list_to_json}. *)
+val to_json : Summary.t list -> string
+
+(** Human-readable fixed-width table on stdout. *)
+val print_table : Summary.t list -> unit

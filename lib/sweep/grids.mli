@@ -1,0 +1,44 @@
+(** Named parameter grids for [netsim sweep], the benchmark harness and
+    the example programs.
+
+    A grid is a pure recipe: [points ~quick] only builds scenarios, it
+    runs nothing.  Feed the result to {!Driver.run}. *)
+
+type spec = {
+  name : string;  (** CLI name, e.g. ["fig8"] *)
+  title : string;  (** one-line description for [--list] *)
+  points : quick:bool -> Driver.point list;
+      (** [quick:true] shrinks the simulated horizon for smoke tests *)
+}
+
+(** Fig-8 regime (tau = 10 ms) fixed-window pair swept across bottleneck
+    buffer sizes, ending with the paper's infinite buffer. *)
+val fig8 : spec
+
+(** Same grid at tau = 1 s (the Fig-9 regime). *)
+val fig9 : spec
+
+(** Section 4.3.3 phase criterion over the (w1, w2) window plane.
+    Points are row-major over [phase_diagram_windows] (w1 outer, w2
+    inner). *)
+val phase_diagram : spec
+
+val phase_diagram_windows : int list
+val phase_diagram_tau : float
+
+(** Synchronization-mode atlas for adaptive 1+1 traffic over
+    (tau, buffer).  Points are row-major over [mode_atlas_buffers]
+    (outer) and [mode_atlas_taus] (inner). *)
+val mode_atlas : spec
+
+val mode_atlas_taus : float list
+val mode_atlas_buffers : int list
+
+(** Utilization vs buffer size, one-way and two-way columns. *)
+val buffers : spec
+
+(** Tiny 2x2 grid for CI determinism smoke checks. *)
+val smoke : spec
+
+val all : spec list
+val find : string -> spec option

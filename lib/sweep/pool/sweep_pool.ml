@@ -1,0 +1,142 @@
+(* Deterministic fork/pipe/Marshal worker pool.
+
+   [map ~jobs f xs] computes [List.map f xs], fanning the work out to
+   [jobs] forked worker processes.  Results are bit-identical regardless
+   of the job count because the *assignment* of work to workers never
+   affects a result: task [i] is always [f xs.(i)] computed in a process
+   whose heap is a fork-time copy of the parent, every per-task RNG in
+   this codebase is seeded from the task itself (the scenario), and the
+   parent reassembles results by task index, not arrival order.
+
+   Workers are plain [Unix.fork] + a pipe back to the parent (works on
+   both OCaml 4.14 and 5.x single-domain programs; no threads/domains may
+   be running when [map] forks).  On non-Unix platforms, or with
+   [jobs <= 1], the computation simply runs sequentially in-process. *)
+
+let default_jobs () =
+  match Sys.getenv_opt "NETSIM_JOBS" with
+  | None | Some "" -> 1
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | _ -> 1)
+
+let cores () =
+  (* Best-effort physical parallelism estimate, for benchmark metadata
+     only (never affects results). *)
+  try
+    let ic = open_in "/proc/cpuinfo" in
+    let n = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.length line >= 9 && String.sub line 0 9 = "processor" then
+           incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    max 1 !n
+  with Sys_error _ -> 1
+
+(* What a worker ships back: its strided slice of results, or the reason
+   it failed.  ['b] must be marshalable (plain data, no closures). *)
+type 'b transfer = Results of (int * 'b) list | Worker_error of string
+
+let write_all fd s =
+  let len = String.length s in
+  let rec loop off =
+    if off < len then
+      let n = Unix.write_substring fd s off (len - off) in
+      loop (off + n)
+  in
+  loop 0
+
+let read_all fd =
+  let buf = Buffer.create 65536 in
+  let chunk = Bytes.create 65536 in
+  let rec loop () =
+    let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+    if n > 0 then begin
+      Buffer.add_subbytes buf chunk 0 n;
+      loop ()
+    end
+  in
+  loop ();
+  Buffer.contents buf
+
+let map ?(jobs = 1) f xs =
+  let tasks = Array.of_list xs in
+  let n = Array.length tasks in
+  let jobs = min jobs n in
+  if jobs <= 1 || Sys.os_type <> "Unix" then List.map f xs
+  else begin
+    (* Anything buffered before the fork would be flushed once per
+       process; push it out first. *)
+    flush stdout;
+    flush stderr;
+    let spawn w =
+      let rd, wr = Unix.pipe () in
+      match Unix.fork () with
+      | 0 ->
+        Unix.close rd;
+        (* Worker [w] owns the strided slice w, w+jobs, w+2*jobs, ...
+           Striding (rather than chunking) balances grids whose points
+           get systematically slower along one axis. *)
+        let payload =
+          try
+            let acc = ref [] in
+            let i = ref w in
+            while !i < n do
+              acc := (!i, f tasks.(!i)) :: !acc;
+              i := !i + jobs
+            done;
+            Results !acc
+          with e -> Worker_error (Printexc.to_string e)
+        in
+        let encoded =
+          try Marshal.to_string payload []
+          with e ->
+            Marshal.to_string
+              (Worker_error ("unmarshalable result: " ^ Printexc.to_string e))
+              []
+        in
+        write_all wr encoded;
+        Unix.close wr;
+        (* _exit, not exit: at_exit in a fork child would re-flush the
+           parent's channels and run its cleanup a second time. *)
+        Unix._exit 0
+      | pid ->
+        Unix.close wr;
+        (pid, rd)
+    in
+    let children = List.init jobs spawn in
+    let results = Array.make n None in
+    let errors = ref [] in
+    List.iter
+      (fun (pid, rd) ->
+        let raw = read_all rd in
+        Unix.close rd;
+        let _, status = Unix.waitpid [] pid in
+        (match status with
+         | Unix.WEXITED 0 -> ()
+         | Unix.WEXITED c ->
+           errors := Printf.sprintf "worker exited with code %d" c :: !errors
+         | Unix.WSIGNALED s ->
+           errors := Printf.sprintf "worker killed by signal %d" s :: !errors
+         | Unix.WSTOPPED _ -> errors := "worker stopped" :: !errors);
+        if raw = "" then errors := "worker produced no output" :: !errors
+        else
+          match (Marshal.from_string raw 0 : _ transfer) with
+          | Results rs -> List.iter (fun (i, r) -> results.(i) <- Some r) rs
+          | Worker_error msg -> errors := msg :: !errors)
+      children;
+    (match List.rev !errors with
+     | [] -> ()
+     | msg :: _ -> failwith ("Sweep_pool.map: worker failed: " ^ msg));
+    Array.to_list
+      (Array.map
+         (function
+           | Some r -> r
+           | None -> failwith "Sweep_pool.map: worker returned no result")
+         results)
+  end

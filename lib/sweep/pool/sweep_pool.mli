@@ -1,0 +1,32 @@
+(** Deterministic fork/pipe/Marshal worker pool — the process-level layer
+    of the scenario-sweep subsystem ({!Sweep}).
+
+    {2 Determinism}
+
+    [map ~jobs f xs] returns exactly [List.map f xs] for any [jobs]: task
+    [i] is always computed as [f xs.(i)] in a fork-time copy of the
+    parent heap, and the parent reassembles results by task index.  As
+    long as [f] itself is deterministic (every RNG in this repo is seeded
+    from its scenario, never from the process or worker), the results are
+    bit-identical regardless of the job count. *)
+
+(** [map ~jobs f xs] is [List.map f xs], computed by [jobs] forked worker
+    processes (strided assignment: worker [w] handles tasks
+    [w, w+jobs, ...]).
+
+    ['b] must be marshalable plain data — no closures, no custom blocks.
+    Runs sequentially in-process when [jobs <= 1], when there is at most
+    one task, or on non-Unix platforms.  Do not call with other threads
+    or domains running (fork).
+
+    @raise Failure if a worker dies or raises; the first worker error is
+    reported. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Job count from the [NETSIM_JOBS] environment variable; [1] when the
+    variable is unset, empty or not a positive integer. *)
+val default_jobs : unit -> int
+
+(** Best-effort CPU count (from [/proc/cpuinfo]; [1] when unreadable).
+    Benchmark metadata only — never affects results. *)
+val cores : unit -> int

@@ -1,0 +1,100 @@
+type t = {
+  id : string;
+  params : (string * float) list;
+  util_fwd : float;
+  util_bwd : float;
+  drops_window : int;
+  drops_total : int;
+  delivered : int list;
+  phase : string;
+  phase_corr : float;
+  epoch_count : int;
+  mean_drops_per_epoch : float option;
+  single_loser : float option;
+  q1_max : float;
+  q2_max : float;
+  effective_pipe : float option;
+}
+
+let queue_max (r : Core.Runner.result) qt =
+  match
+    Trace.Series.min_max (Trace.Queue_trace.series qt) ~t0:r.t0 ~t1:r.t1
+  with
+  | Some (_, hi) -> hi
+  | None -> 0.
+
+let of_result ~id ?(params = []) (r : Core.Runner.result) =
+  let phase, phase_corr = Core.Runner.queue_phase r in
+  let epochs = Core.Runner.epochs r in
+  {
+    id;
+    params;
+    util_fwd = r.util_fwd;
+    util_bwd = r.util_bwd;
+    drops_window = List.length (Core.Runner.drops_in_window r);
+    drops_total = Trace.Drop_log.total r.drops;
+    delivered = Array.to_list r.delivered;
+    phase = Analysis.Sync.phase_to_string phase;
+    phase_corr;
+    epoch_count = List.length epochs;
+    mean_drops_per_epoch = Analysis.Epochs.mean_drops epochs;
+    single_loser = Analysis.Epochs.single_loser_fraction epochs;
+    q1_max = queue_max r r.q1;
+    q2_max = queue_max r r.q2;
+    effective_pipe = Core.Runner.effective_pipe r;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* The sweep acceptance test diffs the bytes of --jobs 1 and --jobs N
+   output, so the encoding must be a pure function of the summary values:
+   fixed key order, fixed float formatting, no timestamps. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let float_json f =
+  if Float.is_nan f || Float.abs f = Float.infinity then "null"
+  else Printf.sprintf "%.9g" f
+
+let opt_float_json = function None -> "null" | Some f -> float_json f
+
+let to_json s =
+  let params =
+    String.concat ","
+      (List.map
+         (fun (k, v) -> Printf.sprintf "\"%s\":%s" (escape k) (float_json v))
+         s.params)
+  in
+  let delivered =
+    String.concat "," (List.map string_of_int s.delivered)
+  in
+  Printf.sprintf
+    "{\"id\":\"%s\",\"params\":{%s},\"util_fwd\":%s,\"util_bwd\":%s,\
+     \"drops_window\":%d,\"drops_total\":%d,\"delivered\":[%s],\
+     \"phase\":\"%s\",\"phase_corr\":%s,\"epochs\":%d,\
+     \"mean_drops_per_epoch\":%s,\"single_loser\":%s,\
+     \"q1_max\":%s,\"q2_max\":%s,\"effective_pipe\":%s}"
+    (escape s.id) params (float_json s.util_fwd) (float_json s.util_bwd)
+    s.drops_window s.drops_total delivered (escape s.phase)
+    (float_json s.phase_corr) s.epoch_count
+    (opt_float_json s.mean_drops_per_epoch)
+    (opt_float_json s.single_loser)
+    (float_json s.q1_max) (float_json s.q2_max)
+    (opt_float_json s.effective_pipe)
+
+let list_to_json summaries =
+  "[" ^ String.concat ",\n " (List.map to_json summaries) ^ "]\n"

@@ -135,6 +135,86 @@ let prop_stable_ties =
       in
       stable popped)
 
+(* ------------------------------------------------------------------ *)
+(* Space leaks: vacated heap slots must not keep payloads alive         *)
+(* ------------------------------------------------------------------ *)
+
+(* Build the payload and pop it inside helper functions so no stack root
+   outlives the operation; after that, only a leaked heap slot could keep
+   the payload from being collected. *)
+let add_finalised q collected =
+  let payload = Bytes.make 16 'x' in
+  Gc.finalise (fun _ -> incr collected) payload;
+  Event_queue.add q ~time:1. payload
+
+let pop_and_drop q = ignore (Event_queue.pop q : (float * Bytes.t) option)
+
+let test_pop_releases_payload () =
+  let q = Event_queue.create () in
+  let collected = ref 0 in
+  (* two entries: the first pop exercises the swap-down path, the second
+     the emptying path — both used to leave the payload in a stale slot *)
+  add_finalised q collected;
+  add_finalised q collected;
+  pop_and_drop q;
+  pop_and_drop q;
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check int) "popped payloads collected" 2 !collected
+
+let test_clear_releases_payloads () =
+  let q = Event_queue.create () in
+  let collected = ref 0 in
+  for _ = 1 to 10 do
+    add_finalised q collected
+  done;
+  Event_queue.clear q;
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check int) "cleared payloads collected" 10 !collected
+
+(* ------------------------------------------------------------------ *)
+(* Model-based: random Add/Pop/Clear programs vs a sorted-list reference *)
+(* ------------------------------------------------------------------ *)
+
+(* Opcodes 0-6 add (weighted so queues stay non-trivial), 7-8 pop,
+   9 clears.  Few distinct times force same-time FIFO ties through the
+   model, which orders by (time, insertion seq). *)
+let prop_model =
+  QCheck.Test.make ~name:"model: add/pop/clear vs sorted-list reference"
+    ~count:300
+    QCheck.(list (pair (int_bound 9) (int_bound 5)))
+    (fun ops ->
+      let q = Event_queue.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun (op, time) ->
+          (if op <= 6 then begin
+             let payload = !seq in
+             Event_queue.add q ~time:(float_of_int time) payload;
+             model :=
+               List.merge
+                 (fun (t1, s1, _) (t2, s2, _) -> compare (t1, s1) (t2, s2))
+                 !model
+                 [ (float_of_int time, !seq, payload) ];
+             incr seq
+           end
+           else if op <= 8 then
+             match (Event_queue.pop q, !model) with
+             | None, [] -> ()
+             | Some (t, x), (mt, _, mx) :: rest ->
+               if t = mt && x = mx then model := rest else ok := false
+             | _ -> ok := false
+           else begin
+             Event_queue.clear q;
+             model := []
+           end);
+          if Event_queue.length q <> List.length !model then ok := false)
+        ops;
+      !ok)
+
 let suite =
   ( "event_queue",
     [
@@ -146,7 +226,12 @@ let suite =
       Alcotest.test_case "iter" `Quick test_iter;
       Alcotest.test_case "nan rejected" `Quick test_nan_rejected;
       Alcotest.test_case "growth" `Quick test_growth;
+      Alcotest.test_case "pop releases payload" `Quick
+        test_pop_releases_payload;
+      Alcotest.test_case "clear releases payloads" `Quick
+        test_clear_releases_payloads;
       QCheck_alcotest.to_alcotest prop_sorted;
       QCheck_alcotest.to_alcotest prop_conserves_elements;
       QCheck_alcotest.to_alcotest prop_stable_ties;
+      QCheck_alcotest.to_alcotest prop_model;
     ] )

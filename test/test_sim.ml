@@ -184,6 +184,50 @@ let prop_cancel_semantics =
         handles
         (List.combine events (Array.to_list fired)))
 
+(* Observers fire in registration order (they used to run reversed,
+   which broke any validate-then-trace hook pairing). *)
+let test_observer_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.on_event sim (fun _ -> log := 1 :: !log);
+  Sim.on_event sim (fun _ -> log := 2 :: !log);
+  Sim.on_event sim (fun _ -> log := 3 :: !log);
+  ignore (Sim.schedule sim ~delay:1. (fun () -> ()) : Sim.handle);
+  Sim.run_to_completion sim;
+  Alcotest.(check (list int)) "registration order" [ 1; 2; 3 ] (List.rev !log)
+
+(* A cancel-heavy workload must not accumulate dead handles until their
+   scheduled times: compaction keeps the queue bounded even though every
+   cancelled event lies 1000 s in the future. *)
+let test_cancel_compaction () =
+  let sim = Sim.create () in
+  for _ = 1 to 10_000 do
+    Sim.cancel (Sim.schedule sim ~delay:1000. (fun () -> ()))
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "queue stays bounded (len %d)" (Sim.queue_length sim))
+    true
+    (Sim.queue_length sim <= 128);
+  Sim.run_to_completion sim;
+  Alcotest.(check int) "no cancelled event ran" 0 (Sim.events_run sim)
+
+(* The compaction invariant under arbitrary cancel patterns: at any
+   point the queue holds at most 2x the live events plus the compaction
+   threshold. *)
+let prop_cancel_bounded =
+  QCheck.Test.make ~name:"cancel keeps queue length within 2*live + 64"
+    ~count:200
+    QCheck.(list bool)
+    (fun cancels ->
+      let sim = Sim.create () in
+      let live = ref 0 in
+      List.for_all
+        (fun cancel ->
+          let h = Sim.schedule sim ~delay:100. (fun () -> ()) in
+          if cancel then Sim.cancel h else incr live;
+          Sim.queue_length sim <= (2 * !live) + 64)
+        cancels)
+
 let suite =
   ( "sim",
     [
@@ -205,5 +249,8 @@ let suite =
       Alcotest.test_case "on_event observer" `Quick test_on_event_observer;
       Alcotest.test_case "events_run counts" `Quick test_events_run;
       Alcotest.test_case "step" `Quick test_step;
+      Alcotest.test_case "observer order" `Quick test_observer_order;
+      Alcotest.test_case "cancel compaction" `Quick test_cancel_compaction;
       QCheck_alcotest.to_alcotest prop_cancel_semantics;
+      QCheck_alcotest.to_alcotest prop_cancel_bounded;
     ] )

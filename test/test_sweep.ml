@@ -1,0 +1,113 @@
+(* lib/sweep + lib/sweep/pool: the parallel fan-out must be invisible in
+   the results — same values, same order, same bytes — for any job
+   count. *)
+
+(* ---------------- Sweep_pool ---------------- *)
+
+let test_pool_matches_sequential () =
+  let xs = List.init 17 (fun i -> i) in
+  let f x = (x, x * x) in
+  Alcotest.(check (list (pair int int)))
+    "jobs=3 equals in-process map" (List.map f xs)
+    (Sweep_pool.map ~jobs:3 f xs)
+
+let test_pool_edge_sizes () =
+  Alcotest.(check (list int))
+    "empty input" []
+    (Sweep_pool.map ~jobs:4 (fun x -> x) []);
+  Alcotest.(check (list int))
+    "fewer items than jobs" [ 2; 4 ]
+    (Sweep_pool.map ~jobs:8 (fun x -> 2 * x) [ 1; 2 ]);
+  Alcotest.(check (list int))
+    "jobs=1 stays in-process" [ 7 ]
+    (Sweep_pool.map ~jobs:1 (fun x -> 7 * x) [ 1 ])
+
+let test_pool_worker_error () =
+  match
+    Sweep_pool.map ~jobs:2
+      (fun x -> if x = 3 then failwith "boom" else x)
+      [ 1; 2; 3; 4 ]
+  with
+  | _ -> Alcotest.fail "expected the worker failure to propagate"
+  | exception Failure msg ->
+    let has_prefix =
+      String.length msg >= 15 && String.sub msg 0 15 = "Sweep_pool.map:"
+    in
+    Alcotest.(check bool) ("failure propagated: " ^ msg) true has_prefix
+
+(* ---------------- Driver determinism ---------------- *)
+
+let test_driver_jobs_identical () =
+  let points = Sweep.Grids.smoke.points ~quick:true in
+  let j1 = Sweep.Driver.to_json (Sweep.Driver.run ~jobs:1 points) in
+  let j2 = Sweep.Driver.to_json (Sweep.Driver.run ~jobs:2 points) in
+  Alcotest.(check string) "jobs 1 vs 2 byte-identical JSON" j1 j2
+
+(* ---------------- Summary JSON ---------------- *)
+
+let test_json_special_floats () =
+  let s =
+    {
+      Sweep.Summary.id = "x\"y";
+      params = [ ("a", 1.5) ];
+      util_fwd = Float.nan;
+      util_bwd = Float.infinity;
+      drops_window = 0;
+      drops_total = 0;
+      delivered = [ 1; 2 ];
+      phase = "in-phase";
+      phase_corr = 0.25;
+      epoch_count = 0;
+      mean_drops_per_epoch = None;
+      single_loser = Some 0.5;
+      q1_max = 0.;
+      q2_max = 0.;
+      effective_pipe = None;
+    }
+  in
+  let json = Sweep.Summary.to_json s in
+  let contains needle =
+    let n = String.length needle and h = String.length json in
+    let rec go i = i + n <= h && (String.sub json i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "NaN encodes as null" true
+    (contains "\"util_fwd\":null");
+  Alcotest.(check bool) "infinity encodes as null" true
+    (contains "\"util_bwd\":null");
+  Alcotest.(check bool) "quote escaped in id" true (contains "x\\\"y");
+  Alcotest.(check bool) "None option is null" true
+    (contains "\"effective_pipe\":null")
+
+(* ---------------- Grids registry ---------------- *)
+
+let test_grids_registry () =
+  Alcotest.(check bool) "registry non-empty" true (Sweep.Grids.all <> []);
+  List.iter
+    (fun (g : Sweep.Grids.spec) ->
+      (match Sweep.Grids.find g.name with
+       | Some found ->
+         Alcotest.(check string) ("find " ^ g.name) g.name found.name
+       | None -> Alcotest.fail ("find " ^ g.name ^ " returned None"));
+      let pts = g.points ~quick:true in
+      Alcotest.(check bool) (g.name ^ " has points") true (pts <> []);
+      let ids = List.map (fun (p : Sweep.Driver.point) -> p.id) pts in
+      Alcotest.(check int)
+        (g.name ^ " ids unique")
+        (List.length ids)
+        (List.length (List.sort_uniq compare ids)))
+    Sweep.Grids.all;
+  Alcotest.(check bool) "unknown grid" true (Sweep.Grids.find "nope" = None)
+
+let suite =
+  ( "sweep",
+    [
+      Alcotest.test_case "pool matches sequential" `Quick
+        test_pool_matches_sequential;
+      Alcotest.test_case "pool edge sizes" `Quick test_pool_edge_sizes;
+      Alcotest.test_case "pool worker error" `Quick test_pool_worker_error;
+      Alcotest.test_case "driver jobs 1 vs 2 identical" `Quick
+        test_driver_jobs_identical;
+      Alcotest.test_case "json special floats" `Quick test_json_special_floats;
+      Alcotest.test_case "grids registry" `Quick test_grids_registry;
+    ] )
