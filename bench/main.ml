@@ -6,6 +6,10 @@
      dune exec bench/main.exe -- micro          only the bechamel benchmarks
      dune exec bench/main.exe -- micro --json   ... and write BENCH_micro.json
      dune exec bench/main.exe -- sweep          pool scaling; BENCH_sweep.json
+     dune exec bench/main.exe -- engine         hot-path ns/event + words/event
+     dune exec bench/main.exe -- engine --json  ... and write BENCH_engine.json
+     dune exec bench/main.exe -- engine --check BENCH_engine.json
+                                                regression guard (25% band)
 
    Sections:
      1. paper reproduction — one paper-vs-measured table per figure/table
@@ -274,6 +278,119 @@ let run_micro ~json () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Engine hot path: ns/event and minor-words/event regression guard    *)
+(* ------------------------------------------------------------------ *)
+
+(* Profiles the event hot path on a 100 sim-second fig-4-style two-way
+   run: wall time per event (best of [reps]) and minor-heap words per
+   event (a single Gc.minor_words delta — allocation is deterministic,
+   so one run suffices).  [--json] commits the numbers to
+   BENCH_engine.json; [--check FILE] re-measures and fails if either
+   metric exceeds the committed baseline by more than 25%. *)
+
+let engine_scenario () =
+  Core.Scenario.make ~name:"engine-bench" ~tau:0.01 ~buffer:(Some 20)
+    ~conns:
+      [
+        Core.Scenario.conn Core.Scenario.Forward;
+        Core.Scenario.conn ~start_time:1. Core.Scenario.Reverse;
+      ]
+    ~duration:100. ~warmup:1. ()
+
+type engine_profile = {
+  ep_events : int;
+  ep_ns_per_event : float;
+  ep_minor_words_per_event : float;
+}
+
+let measure_engine () =
+  let scenario = engine_scenario () in
+  let run () = Core.Runner.run scenario in
+  let r = run () in  (* warm caches and the minor heap *)
+  let events =
+    Engine.Sim.events_run
+      (Net.Network.sim r.Core.Runner.dumbbell.Net.Topology.net)
+  in
+  let w0 = Gc.minor_words () in
+  ignore (run () : Core.Runner.result);
+  let words = Gc.minor_words () -. w0 in
+  let reps = 5 in
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    ignore (run () : Core.Runner.result);
+    best := Float.min !best (Unix.gettimeofday () -. t0)
+  done;
+  {
+    ep_events = events;
+    ep_ns_per_event = 1e9 *. !best /. float_of_int events;
+    ep_minor_words_per_event = words /. float_of_int events;
+  }
+
+let write_engine_json file (p : engine_profile) =
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n  \"scenario\": \"fig4-two-way-100s\",\n  \"events\": %d,\n\
+    \  \"ns_per_event\": %.1f,\n  \"minor_words_per_event\": %.3f\n}\n"
+    p.ep_events p.ep_ns_per_event p.ep_minor_words_per_event;
+  close_out oc;
+  Printf.printf "wrote %s\n" file
+
+let print_engine_profile (p : engine_profile) =
+  Printf.printf "events per run:         %d\n" p.ep_events;
+  Printf.printf "time per event:         %.1f ns\n" p.ep_ns_per_event;
+  Printf.printf "minor words per event:  %.3f\n" p.ep_minor_words_per_event
+
+(* Minimal JSON number extraction, enough for the flat baseline files
+   this binary writes itself (no JSON library in the toolchain). *)
+let json_number_field file key =
+  let ic = open_in file in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let needle = Printf.sprintf "\"%s\"" key in
+  let n = String.length s and m = String.length needle in
+  let rec find i =
+    if i + m > n then
+      failwith (Printf.sprintf "%s: no field %s" file needle)
+    else if String.sub s i m = needle then i + m
+    else find (i + 1)
+  in
+  let j = find 0 in
+  Scanf.sscanf (String.sub s j (n - j)) " : %f" (fun v -> v)
+
+let run_engine ~json () =
+  banner "ENGINE HOT PATH: ns/event and minor-words/event";
+  let p = measure_engine () in
+  print_engine_profile p;
+  if json then write_engine_json "BENCH_engine.json" p;
+  0
+
+let run_engine_check baseline_file =
+  banner "ENGINE HOT PATH: regression check against committed baseline";
+  let base_ns = json_number_field baseline_file "ns_per_event" in
+  let base_words = json_number_field baseline_file "minor_words_per_event" in
+  let p = measure_engine () in
+  print_engine_profile p;
+  write_engine_json "BENCH_engine.current.json" p;
+  let tolerance = 0.25 in
+  let check name measured base =
+    (* Wall time is noisy on shared CI runners; allocation is exact.  The
+       same 25% band covers both: words/event regressions from a stray
+       per-event closure are far larger than 25%. *)
+    let limit = base *. (1. +. tolerance) in
+    let ok = measured <= limit in
+    Printf.printf "%-24s %10.3f  (baseline %.3f, limit %.3f)  %s\n" name
+      measured base limit
+      (if ok then "ok" else "REGRESSION");
+    ok
+  in
+  let ns_ok = check "ns/event" p.ep_ns_per_event base_ns in
+  let words_ok =
+    check "minor words/event" p.ep_minor_words_per_event base_words
+  in
+  if ns_ok && words_ok then 0 else 1
+
+(* ------------------------------------------------------------------ *)
 (* Sweep scaling: the parallel pool at jobs 1 / 2 / 4                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -308,20 +425,37 @@ let run_sweep_bench () =
   in
   let t1 = List.assoc 1 timings in
   let cores = Sweep_pool.cores () in
+  let max_jobs = List.fold_left max 1 job_counts in
+  (* Speedup numbers above the core count measure fork overhead, not
+     parallelism; say so next to them rather than leaving a puzzling
+     sub-1x figure in the report. *)
+  let note =
+    if max_jobs > cores then
+      Some
+        (Printf.sprintf
+           "job counts up to %d exceed the %d available core(s); speedups \
+            beyond jobs=%d measure scheduling overhead, not parallelism"
+           max_jobs cores cores)
+    else None
+  in
   Printf.printf "grid: %s (%d points), best of %d runs, %d core(s)\n"
     grid.name n reps cores;
   List.iter
     (fun (j, t) ->
       Printf.printf "jobs=%d: %8.3f s  (speedup %.2fx)\n" j t (t1 /. t))
     timings;
+  (match note with Some s -> Printf.printf "note: %s\n" s | None -> ());
   Printf.printf "output byte-identical across job counts: %b\n" byte_identical;
   let file = "BENCH_sweep.json" in
   let oc = open_out file in
   Printf.fprintf oc
-    "{\n  \"grid\": \"%s\",\n  \"points\": %d,\n  \"cores\": %d,\n\
-    \  \"reps\": %d,\n  \"runs\": [\n%s\n  ],\n\
+    "{\n  \"grid\": \"%s\",\n  \"cores\": %d,\n  \"points\": %d,\n\
+    \  \"reps\": %d,\n%s  \"runs\": [\n%s\n  ],\n\
     \  \"byte_identical\": %b\n}\n"
-    grid.name n cores reps
+    grid.name cores n reps
+    (match note with
+     | Some s -> Printf.sprintf "  \"note\": \"%s\",\n" (json_escape s)
+     | None -> "")
     (String.concat ",\n"
        (List.map
           (fun (j, t) ->
@@ -437,6 +571,9 @@ let () =
       run_micro ~json:true ();
       0
     | [ "sweep" ] -> run_sweep_bench ()
+    | [ "engine" ] -> run_engine ~json:false ()
+    | [ "engine"; "--json" ] -> run_engine ~json:true ()
+    | [ "engine"; "--check"; baseline ] -> run_engine_check baseline
     | [ "gallery" ] ->
       run_gallery ();
       0

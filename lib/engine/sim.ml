@@ -1,116 +1,304 @@
-type event = { action : unit -> unit; mutable cancelled : bool }
+(* The scheduler is an *indexed* binary min-heap over parallel arrays:
+
+     times : float array     primary key (flat, unboxed)
+     seqs  : int array       tie-break key (insertion counter)
+     heap  : timer array     payloads; [heap.(i).pos = i] always
+
+   Every scheduled obligation — a one-shot closure from [schedule]/[at]
+   or a reusable [Timer] — is a [timer] record that knows its own heap
+   index, so cancel and re-arm are O(log n) in-place operations that
+   produce no garbage: no closure, no handle record, no heap entry is
+   allocated on the per-event hot path.  Re-arming assigns a fresh
+   sequence number at the call site, exactly as cancel+schedule used to,
+   so (time, seq) delivery order — and with it every golden trace — is
+   unchanged.  Cancelled timers leave the heap immediately, which also
+   retires the old lazy-compaction machinery: [queue_length] is now the
+   exact live event count.
+
+   The clock lives in a 1-element float array rather than a mutable
+   float field: a float field of a mixed record is boxed, so assigning
+   it on every event would allocate; a flat float array slot does not. *)
 
 type t = {
-  mutable clock : float;
+  clock : float array; (* 1 cell *)
   mutable executed : int;
-  queue : handle Event_queue.t;
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable heap : timer array;
+  mutable size : int;
+  mutable next_seq : int;
   mutable observers : (float -> unit) list;  (* in registration order *)
-  mutable cancelled_pending : int;
-      (* cancelled handles still sitting in [queue]; drives compaction *)
+  sentinel : timer;
+      (* fills vacated heap slots so popped timers (and the closures they
+         carry) are collectable immediately, not when the slot is reused *)
 }
 
-and handle = { event : event; mutable fired : bool; sim : t }
+and timer = {
+  owner : t;
+  mutable action : unit -> unit;
+  mutable pos : int;  (* index into the heap arrays, or -1 when disarmed *)
+}
+
+type handle = timer
+
+let nop () = ()
 
 let create () =
-  {
-    clock = 0.;
-    executed = 0;
-    queue = Event_queue.create ();
-    observers = [];
-    cancelled_pending = 0;
-  }
+  let rec t =
+    {
+      clock = [| 0. |];
+      executed = 0;
+      times = [||];
+      seqs = [||];
+      heap = [||];
+      size = 0;
+      next_seq = 0;
+      observers = [];
+      sentinel;
+    }
+  and sentinel = { owner = t; action = nop; pos = -1 } in
+  t
 
-let now t = t.clock
+let[@inline] now t = t.clock.(0)
 let events_run t = t.executed
-let queue_length t = Event_queue.length t.queue
+let queue_length t = t.size
 
 (* Registration is rare and iteration is the hot path, so keep the list
    in registration order (append) rather than reversing on every event:
    validate/trace hooks rely on running in install order. *)
 let on_event t f = t.observers <- t.observers @ [ f ]
 
+(* ------------------------------------------------------------------ *)
+(* Indexed heap plumbing                                               *)
+(* ------------------------------------------------------------------ *)
+
+let initial_capacity = 64
+
+let grow t =
+  let cap = Array.length t.heap in
+  if t.size = cap then begin
+    let ncap = if cap = 0 then initial_capacity else 2 * cap in
+    let times = Array.make ncap 0. in
+    let seqs = Array.make ncap 0 in
+    let heap = Array.make ncap t.sentinel in
+    Array.blit t.times 0 times 0 t.size;
+    Array.blit t.seqs 0 seqs 0 t.size;
+    Array.blit t.heap 0 heap 0 t.size;
+    t.times <- times;
+    t.seqs <- seqs;
+    t.heap <- heap
+  end
+
+let[@inline] entry_before t i j =
+  let ti = t.times.(i) and tj = t.times.(j) in
+  ti < tj || (ti = tj && t.seqs.(i) < t.seqs.(j))
+
+let[@inline] swap t i j =
+  let ti = t.times.(i) in
+  t.times.(i) <- t.times.(j);
+  t.times.(j) <- ti;
+  let si = t.seqs.(i) in
+  t.seqs.(i) <- t.seqs.(j);
+  t.seqs.(j) <- si;
+  let hi = t.heap.(i) and hj = t.heap.(j) in
+  t.heap.(i) <- hj;
+  t.heap.(j) <- hi;
+  hj.pos <- i;
+  hi.pos <- j
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_before t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 in
+  if left < t.size then begin
+    let smallest = if entry_before t left i then left else i in
+    let right = left + 1 in
+    let smallest =
+      if right < t.size && entry_before t right smallest then right
+      else smallest
+    in
+    if smallest <> i then begin
+      swap t smallest i;
+      sift_down t smallest
+    end
+  end
+
+(* Insert a disarmed timer with a fresh sequence number. *)
+let arm t tm ~time =
+  grow t;
+  let i = t.size in
+  t.size <- i + 1;
+  t.times.(i) <- time;
+  t.seqs.(i) <- t.next_seq;
+  t.next_seq <- t.next_seq + 1;
+  t.heap.(i) <- tm;
+  tm.pos <- i;
+  sift_up t i
+
+(* Re-key an armed timer in place.  The fresh seq is larger than every
+   seq already in the heap, so when the time does not strictly decrease
+   the entry can only sink; when it strictly decreases it can only
+   rise (its new key is then strictly below both children's). *)
+let rekey t tm ~time =
+  let i = tm.pos in
+  let old_time = t.times.(i) in
+  t.times.(i) <- time;
+  t.seqs.(i) <- t.next_seq;
+  t.next_seq <- t.next_seq + 1;
+  if time < old_time then sift_up t i else sift_down t i
+
+(* Remove an armed timer: classic indexed-heap deletion (move the last
+   entry into the hole, then restore the heap property in whichever
+   direction it is violated). *)
+let remove t tm =
+  let i = tm.pos in
+  tm.pos <- -1;
+  let last = t.size - 1 in
+  t.size <- last;
+  if i < last then begin
+    t.times.(i) <- t.times.(last);
+    t.seqs.(i) <- t.seqs.(last);
+    let moved = t.heap.(last) in
+    t.heap.(i) <- moved;
+    moved.pos <- i;
+    t.heap.(last) <- t.sentinel;
+    if i > 0 && entry_before t i ((i - 1) / 2) then sift_up t i
+    else sift_down t i
+  end
+  else t.heap.(last) <- t.sentinel
+
+(* Remove and return the root.  The caller has already read its time. *)
+let pop_min t =
+  let tm = t.heap.(0) in
+  tm.pos <- -1;
+  let last = t.size - 1 in
+  t.size <- last;
+  if last > 0 then begin
+    t.times.(0) <- t.times.(last);
+    t.seqs.(0) <- t.seqs.(last);
+    let moved = t.heap.(last) in
+    t.heap.(0) <- moved;
+    moved.pos <- 0;
+    t.heap.(last) <- t.sentinel;
+    sift_down t 0
+  end
+  else t.heap.(last) <- t.sentinel;
+  tm
+
+(* ------------------------------------------------------------------ *)
+(* One-shot scheduling (legacy closure API, built on the same timers)   *)
+(* ------------------------------------------------------------------ *)
+
 let at t ~time f =
   if Float.is_nan time then invalid_arg "Sim.at: NaN time";
-  if time < t.clock then
+  if time < t.clock.(0) then
     invalid_arg
-      (Printf.sprintf "Sim.at: time %g is before current time %g" time t.clock);
-  let handle = { event = { action = f; cancelled = false }; fired = false; sim = t } in
-  Event_queue.add t.queue ~time handle;
-  handle
+      (Printf.sprintf "Sim.at: time %g is before current time %g" time
+         t.clock.(0));
+  let tm = { owner = t; action = f; pos = -1 } in
+  arm t tm ~time;
+  tm
 
 let schedule t ~delay f =
   if Float.is_nan delay then invalid_arg "Sim.schedule: NaN delay";
   if delay < 0. then
     invalid_arg (Printf.sprintf "Sim.schedule: negative delay %g" delay);
-  at t ~time:(t.clock +. delay) f
+  at t ~time:(t.clock.(0) +. delay) f
 
-(* Below this queue length a compaction pass costs more than it frees. *)
-let compaction_threshold = 64
+let cancel tm = if tm.pos >= 0 then remove tm.owner tm
+let pending tm = tm.pos >= 0
 
-let cancel handle =
-  if (not handle.fired) && not handle.event.cancelled then begin
-    handle.event.cancelled <- true;
-    (* TCP retransmission timers are cancelled and rescheduled on every
-       ACK, so dead handles would otherwise pile up in the heap until
-       their scheduled time (an RTO in the future).  Compact once the
-       majority of the queue is dead: amortized O(1) per cancel, and the
-       queue length stays within 2x the live event count. *)
-    let t = handle.sim in
-    t.cancelled_pending <- t.cancelled_pending + 1;
-    let len = Event_queue.length t.queue in
-    if len >= compaction_threshold && 2 * t.cancelled_pending > len then begin
-      Event_queue.filter_in_place t.queue ~f:(fun h -> not h.event.cancelled);
-      t.cancelled_pending <- 0
+(* ------------------------------------------------------------------ *)
+(* Reusable timers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Timer = struct
+  type timer = handle
+
+  let create owner action = { owner; action; pos = -1 }
+  let set_action tm f = tm.action <- f
+
+  let set_at tm ~time =
+    let t = tm.owner in
+    if Float.is_nan time then invalid_arg "Sim.Timer.set_at: NaN time";
+    if time < t.clock.(0) then
+      invalid_arg
+        (Printf.sprintf "Sim.Timer.set_at: time %g is before current time %g"
+           time t.clock.(0));
+    if tm.pos >= 0 then rekey t tm ~time else arm t tm ~time
+
+  let set tm ~delay =
+    let t = tm.owner in
+    if Float.is_nan delay then invalid_arg "Sim.Timer.set: NaN delay";
+    if delay < 0. then
+      invalid_arg (Printf.sprintf "Sim.Timer.set: negative delay %g" delay);
+    let time = t.clock.(0) +. delay in
+    if tm.pos >= 0 then rekey t tm ~time else arm t tm ~time
+
+  let cancel = cancel
+  let pending = pending
+end
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let execute t tm =
+  t.executed <- t.executed + 1;
+  (match t.observers with
+   | [] -> ()
+   | obs ->
+     let time = t.clock.(0) in
+     List.iter (fun f -> f time) obs);
+  tm.action ()
+
+let step t ~until =
+  if t.size = 0 then false
+  else begin
+    let time = t.times.(0) in
+    if time > until then false
+    else begin
+      let tm = pop_min t in
+      t.clock.(0) <- time;
+      execute t tm;
+      true
     end
   end
 
-let pending handle = (not handle.fired) && not handle.event.cancelled
-
-let execute t handle =
-  handle.fired <- true;
-  if handle.event.cancelled then
-    (* Popped before compaction claimed it: it no longer counts toward
-       the dead fraction of the queue. *)
-    t.cancelled_pending <- t.cancelled_pending - 1
-  else begin
-    t.executed <- t.executed + 1;
-    (match t.observers with
-     | [] -> ()
-     | obs -> List.iter (fun f -> f t.clock) obs);
-    handle.event.action ()
-  end
-
-let step t ~until =
-  match Event_queue.peek t.queue with
-  | None -> false
-  | Some (time, _) when time > until -> false
-  | Some _ ->
-    (match Event_queue.pop t.queue with
-     | None -> false
-     | Some (time, handle) ->
-       t.clock <- time;
-       execute t handle;
-       true)
-
 let run t ~until =
   if Float.is_nan until then invalid_arg "Sim.run: NaN horizon";
-  if until < t.clock then
+  if until < t.clock.(0) then
     invalid_arg
       (Printf.sprintf "Sim.run: horizon %g is before current time %g" until
-         t.clock);
-  while step t ~until do
-    ()
+         t.clock.(0));
+  let continue = ref true in
+  while !continue do
+    if t.size = 0 then continue := false
+    else begin
+      let time = t.times.(0) in
+      if time > until then continue := false
+      else begin
+        let tm = pop_min t in
+        t.clock.(0) <- time;
+        execute t tm
+      end
+    end
   done;
   (* The queue is drained of events at or before [until]; the clock always
      lands exactly on the horizon. *)
-  t.clock <- until
+  t.clock.(0) <- until
 
 let run_to_completion t =
-  let continue = ref true in
-  while !continue do
-    match Event_queue.pop t.queue with
-    | None -> continue := false
-    | Some (time, handle) ->
-      t.clock <- time;
-      execute t handle
+  while t.size > 0 do
+    let time = t.times.(0) in
+    let tm = pop_min t in
+    t.clock.(0) <- time;
+    execute t tm
   done

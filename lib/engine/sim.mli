@@ -4,13 +4,18 @@
     simulated time.  The clock only moves when the next event is dequeued;
     within a single instant events run in the order they were scheduled.
 
+    Internally every scheduled obligation is a slot in an indexed binary
+    heap: cancelling removes it immediately and re-arming a {!Timer}
+    re-keys it in place, so the per-event hot path performs no
+    allocation (see DESIGN.md, "hot-path allocation model").
+
     {2 Error conventions}
 
     Every entry point that takes a time-like argument rejects NaN with
     ["Sim.<fn>: NaN <arg>"] and rejects values that would move the clock
     backwards with ["Sim.<fn>: ... is before current time <now>"] (for
-    [schedule], a negative delay is reported as
-    ["Sim.schedule: negative delay <d>"]). *)
+    [schedule] and [Timer.set], a negative delay is reported as
+    ["Sim.<fn>: negative delay <d>"]). *)
 
 type t
 
@@ -25,9 +30,8 @@ val now : t -> float
 (** Number of events executed so far. *)
 val events_run : t -> int
 
-(** Number of handles currently sitting in the event queue, including
-    cancelled ones that have not yet been compacted away.  Exposed so
-    tests can assert that cancel-heavy workloads stay bounded. *)
+(** Number of live events currently in the queue.  Cancelled events are
+    removed from the heap immediately, so this is an exact count. *)
 val queue_length : t -> int
 
 (** [on_event t f] registers an observer called with the clock value each
@@ -45,15 +49,51 @@ val schedule : t -> delay:float -> (unit -> unit) -> handle
     @raise Invalid_argument if [time] is in the past or NaN. *)
 val at : t -> time:float -> (unit -> unit) -> handle
 
-(** Cancel a scheduled event.  Cancelling an already-run or
-    already-cancelled event is a no-op.  When the majority of the queue
-    is cancelled handles (TCP RTO timers are cancelled and rescheduled on
-    every ACK), the queue is compacted in place, so the heap never holds
-    more than twice the number of live events (plus a small constant). *)
+(** Cancel a scheduled event: it is removed from the event queue on the
+    spot (O(log n), no garbage, no deferred compaction).  Cancelling an
+    already-run or already-cancelled event is a no-op. *)
 val cancel : handle -> unit
 
 (** Has this handle's event neither run nor been cancelled yet? *)
 val pending : handle -> bool
+
+(** {2 Reusable timers}
+
+    A [Timer.timer] is allocated once per owner (a TCP connection's
+    retransmission timer, a link's transmitter) and re-armed in place for
+    the rest of the run: [Timer.set] on an armed timer mutates its heap
+    slot — new time, fresh sequence number — instead of minting a new
+    closure and handle, so per-ACK RTO churn allocates nothing.
+
+    Re-arming takes a fresh sequence number at the call site, exactly as
+    a cancel + schedule pair would, so same-instant delivery order is
+    identical to the closure API's. *)
+module Timer : sig
+  type timer
+
+  (** [create sim f] makes a disarmed timer that runs [f] when it fires.
+      Allocates once; every subsequent [set]/[cancel] is allocation-free. *)
+  val create : t -> (unit -> unit) -> timer
+
+  (** Replace the timer's action.  Intended for tying the knot when the
+      action must close over a record that contains the timer itself. *)
+  val set_action : timer -> (unit -> unit) -> unit
+
+  (** [set tm ~delay] (re-)arms the timer to fire at [now + delay],
+      replacing any pending arming.
+      @raise Invalid_argument if [delay] is negative or NaN. *)
+  val set : timer -> delay:float -> unit
+
+  (** [set_at tm ~time] (re-)arms the timer to fire at absolute [time].
+      @raise Invalid_argument if [time] is in the past or NaN. *)
+  val set_at : timer -> time:float -> unit
+
+  (** Disarm the timer.  No-op if it is not armed. *)
+  val cancel : timer -> unit
+
+  (** Is the timer armed (set, not yet fired, not cancelled)? *)
+  val pending : timer -> bool
+end
 
 (** Run events until the event queue empties or the clock would pass
     [until].  Events scheduled exactly at [until] run.  On return [now t]

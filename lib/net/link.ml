@@ -21,6 +21,13 @@ type fault_plan = {
   clone : Packet.t -> Packet.t;
 }
 
+(* The per-packet pipeline is closure-free: the transmitter is one
+   persistent [Engine.Sim.Timer] re-armed per serialization, and
+   propagation deliveries come from a free-list of [deliv] cells, each
+   owning its own persistent timer and a packet slot.  Idle slots hold
+   [Packet.none] (physical-equality sentinel) rather than an option so
+   the steady state allocates nothing.  The busy meter lives in a flat
+   float array because assigning a float field of a mixed record boxes. *)
 type t = {
   sim : Engine.Sim.t;
   id : int;
@@ -30,10 +37,9 @@ type t = {
   bandwidth : float;
   prop_delay : float;
   queue : Discipline.t;
-  mutable in_service : Packet.t option;
+  mutable in_service : Packet.t;  (* == Packet.none when idle *)
   mutable deliver : Packet.t -> unit;
-  mutable busy_since : float;
-  mutable busy_accum : float;
+  meter : float array;  (* 0: busy_since; 1: busy_accum *)
   counters : counters;
   mutable enqueue_hooks : (float -> Packet.t -> int -> unit) list;
   mutable drop_hooks : (float -> Packet.t -> unit) list;
@@ -41,21 +47,38 @@ type t = {
   (* Fault injection (lib/faults).  [faults = None] is the default and the
      hot path: a single option check per send/departure.  When a plan is
      installed the link additionally tracks packets in propagation
-     ([in_prop]) so an outage can kill everything in flight. *)
+     ([in_prop]) so an outage can kill everything in flight; faulted
+     departures take the closure-per-packet path since they may carry
+     per-packet extra delay. *)
   mutable faults : fault_plan option;
   mutable fault_hooks : (float -> fault_event -> Packet.t -> unit) list;
   mutable down : bool;
-  mutable tx_handle : Engine.Sim.handle option;
+  tx_timer : Engine.Sim.Timer.timer;
+  mutable free_deliv : deliv;  (* free-list head; deliv_nil terminates *)
+  deliv_nil : deliv;
   in_prop : (int, Packet.t * Engine.Sim.handle) Hashtbl.t;
 }
 
-let create ?(discipline = Discipline.Fifo) sim ~id ~name ~src ~dst ~bandwidth
+and deliv = {
+  d_timer : Engine.Sim.Timer.timer;
+  mutable d_pkt : Packet.t;  (* == Packet.none when the cell is free *)
+  mutable d_next : deliv;  (* next free cell; the nil cell points to itself *)
+}
+
+let nop () = ()
+
+(* Builds the record; [create] below ties the tx timer's knot. *)
+let make ?(discipline = Discipline.Fifo) sim ~id ~name ~src ~dst ~bandwidth
     ~prop_delay ~buffer =
   if bandwidth <= 0. then invalid_arg "Link.create: bandwidth must be positive";
   if prop_delay < 0. then invalid_arg "Link.create: negative propagation delay";
   (match buffer with
    | Some b when b <= 0 -> invalid_arg "Link.create: buffer must be positive"
    | _ -> ());
+  let nil_timer = Engine.Sim.Timer.create sim nop in
+  let rec deliv_nil =
+    { d_timer = nil_timer; d_pkt = Packet.none; d_next = deliv_nil }
+  in
   {
     sim;
     id;
@@ -65,10 +88,9 @@ let create ?(discipline = Discipline.Fifo) sim ~id ~name ~src ~dst ~bandwidth
     bandwidth;
     prop_delay;
     queue = Discipline.create discipline ~capacity:buffer;
-    in_service = None;
+    in_service = Packet.none;
     deliver = (fun _ -> failwith "Link: deliver callback not set");
-    busy_since = 0.;
-    busy_accum = 0.;
+    meter = [| 0.; 0. |];
     counters =
       {
         enq_data = 0;
@@ -85,7 +107,9 @@ let create ?(discipline = Discipline.Fifo) sim ~id ~name ~src ~dst ~bandwidth
     faults = None;
     fault_hooks = [];
     down = false;
-    tx_handle = None;
+    tx_timer = Engine.Sim.Timer.create sim nop;
+    free_deliv = deliv_nil;
+    deliv_nil;
     in_prop = Hashtbl.create 16;
   }
 
@@ -102,21 +126,20 @@ let capacity t = Discipline.capacity t.queue
 (* Buffer occupancy includes the packet being serialized, matching the
    paper's capacity analysis C = floor(B + 2P). *)
 let queue_length t =
-  Discipline.length t.queue + (match t.in_service with Some _ -> 1 | None -> 0)
+  Discipline.length t.queue + (if t.in_service != Packet.none then 1 else 0)
 
 let counters t = t.counters
 let total_drops t = t.counters.drop_data + t.counters.drop_ack
 
 let contents t =
-  match t.in_service with
-  | Some p -> p :: Discipline.contents t.queue
-  | None -> Discipline.contents t.queue
+  if t.in_service != Packet.none then t.in_service :: Discipline.contents t.queue
+  else Discipline.contents t.queue
 
 let tx_time t ~bytes = Engine.Units.transmission_time ~bytes ~rate_bps:t.bandwidth
 
 let busy_time t ~now =
-  t.busy_accum
-  +. (match t.in_service with Some _ -> now -. t.busy_since | None -> 0.)
+  t.meter.(1)
+  +. (if t.in_service != Packet.none then now -. t.meter.(0) else 0.)
 
 let on_enqueue t f = t.enqueue_hooks <- f :: t.enqueue_hooks
 let on_drop t f = t.drop_hooks <- f :: t.drop_hooks
@@ -126,14 +149,31 @@ let on_fault t f = t.fault_hooks <- f :: t.fault_hooks
 let fire_fault t event p =
   List.iter (fun f -> f (Engine.Sim.now t.sim) event p) t.fault_hooks
 
-let fire_enqueue t p qlen =
-  List.iter (fun f -> f (Engine.Sim.now t.sim) p qlen) t.enqueue_hooks
+(* Hook arguments (the current time, the post-event queue length) are
+   only computed when somebody is listening: the no-observer run pays
+   nothing beyond the empty-list check. *)
+let fire_enqueue t p =
+  match t.enqueue_hooks with
+  | [] -> ()
+  | hooks ->
+    let now = Engine.Sim.now t.sim in
+    let qlen = queue_length t in
+    List.iter (fun f -> f now p qlen) hooks
 
 let fire_drop t p =
-  List.iter (fun f -> f (Engine.Sim.now t.sim) p) t.drop_hooks
+  match t.drop_hooks with
+  | [] -> ()
+  | hooks ->
+    let now = Engine.Sim.now t.sim in
+    List.iter (fun f -> f now p) hooks
 
-let fire_depart t p qlen =
-  List.iter (fun f -> f (Engine.Sim.now t.sim) p qlen) t.depart_hooks
+let fire_depart t p =
+  match t.depart_hooks with
+  | [] -> ()
+  | hooks ->
+    let now = Engine.Sim.now t.sim in
+    let qlen = queue_length t in
+    List.iter (fun f -> f now p qlen) hooks
 
 let count_enq t (p : Packet.t) =
   match p.kind with
@@ -145,40 +185,59 @@ let count_drop t (p : Packet.t) =
   | Packet.Data -> t.counters.drop_data <- t.counters.drop_data + 1
   | Packet.Ack -> t.counters.drop_ack <- t.counters.drop_ack + 1
 
+(* Take a delivery cell from the free-list, growing the pool on demand
+   (the pool high-water mark is the peak number of packets concurrently
+   in propagation). *)
+let alloc_deliv t =
+  let d = t.free_deliv in
+  if d != t.deliv_nil then begin
+    t.free_deliv <- d.d_next;
+    d.d_next <- t.deliv_nil;
+    d
+  end
+  else begin
+    let tm = Engine.Sim.Timer.create t.sim nop in
+    let d = { d_timer = tm; d_pkt = Packet.none; d_next = t.deliv_nil } in
+    Engine.Sim.Timer.set_action tm (fun () ->
+        let p = d.d_pkt in
+        d.d_pkt <- Packet.none;
+        d.d_next <- t.free_deliv;
+        t.free_deliv <- d;
+        t.deliver p);
+    d
+  end
+
 let rec maybe_start t =
-  if t.in_service = None then
+  if t.in_service == Packet.none then
     match Discipline.dequeue t.queue with
     | None -> ()
     | Some p ->
-      t.in_service <- Some p;
-      t.busy_since <- Engine.Sim.now t.sim;
-      let tx = tx_time t ~bytes:p.Packet.size in
-      t.tx_handle <-
-        Some (Engine.Sim.schedule t.sim ~delay:tx (fun () -> finish t p))
+      t.in_service <- p;
+      t.meter.(0) <- Engine.Sim.now t.sim;
+      Engine.Sim.Timer.set t.tx_timer ~delay:(tx_time t ~bytes:p.Packet.size)
 
-and finish t p =
-  (match t.in_service with
-   | Some head when head == p -> ()
-   | _ -> failwith "Link: transmitter out of sync with queue");
+and finish t =
+  let p = t.in_service in
+  if p == Packet.none then
+    failwith "Link: transmitter out of sync with queue";
   let now = Engine.Sim.now t.sim in
-  t.busy_accum <- t.busy_accum +. (now -. t.busy_since);
-  t.in_service <- None;
-  t.tx_handle <- None;
+  t.meter.(1) <- t.meter.(1) +. (now -. t.meter.(0));
+  t.in_service <- Packet.none;
   (match p.Packet.kind with
    | Packet.Data -> t.counters.dep_data <- t.counters.dep_data + 1
    | Packet.Ack -> t.counters.dep_ack <- t.counters.dep_ack + 1);
   t.counters.dep_bytes <- t.counters.dep_bytes + p.Packet.size;
-  fire_depart t p (queue_length t);
-  let deliver = t.deliver in
+  fire_depart t p;
   (match t.faults with
    | None ->
-     ignore
-       (Engine.Sim.schedule t.sim ~delay:t.prop_delay (fun () -> deliver p)
-         : Engine.Sim.handle)
+     let d = alloc_deliv t in
+     d.d_pkt <- p;
+     Engine.Sim.Timer.set d.d_timer ~delay:t.prop_delay
    | Some plan ->
      let extra = plan.extra_delay p in
      if extra > 0. then fire_fault t (Fault_delay extra) p;
      let key = p.Packet.id in
+     let deliver = t.deliver in
      let h =
        Engine.Sim.schedule t.sim ~delay:(t.prop_delay +. extra) (fun () ->
            Hashtbl.remove t.in_prop key;
@@ -197,7 +256,7 @@ and fault_discard t p ~label =
   fire_drop t p
 
 and admit t p =
-  let in_service = match t.in_service with Some _ -> 1 | None -> 0 in
+  let in_service = if t.in_service != Packet.none then 1 else 0 in
   match Discipline.enqueue t.queue p ~in_service with
   | Discipline.Rejected ->
     count_drop t p;
@@ -205,7 +264,7 @@ and admit t p =
     `Dropped
   | Discipline.Accepted ->
     count_enq t p;
-    fire_enqueue t p (queue_length t);
+    fire_enqueue t p;
     maybe_start t;
     `Ok
   | Discipline.Evicted victim ->
@@ -213,7 +272,7 @@ and admit t p =
     count_enq t p;
     count_drop t victim;
     fire_drop t victim;
-    fire_enqueue t p (queue_length t);
+    fire_enqueue t p;
     maybe_start t;
     `Ok
 
@@ -256,17 +315,14 @@ let set_down t flag =
       (* The cut loses everything in flight: the packet being serialized,
          the queue behind it (flushed in FIFO order, so order-sensitive
          checkers can follow along), and packets already in propagation. *)
-      (match t.in_service with
-       | Some p ->
-         (match t.tx_handle with
-          | Some h -> Engine.Sim.cancel h
-          | None -> ());
-         t.tx_handle <- None;
-         t.busy_accum <-
-           t.busy_accum +. (Engine.Sim.now t.sim -. t.busy_since);
-         t.in_service <- None;
+      (if t.in_service != Packet.none then begin
+         let p = t.in_service in
+         Engine.Sim.Timer.cancel t.tx_timer;
+         t.meter.(1) <-
+           t.meter.(1) +. (Engine.Sim.now t.sim -. t.meter.(0));
+         t.in_service <- Packet.none;
          fault_discard t p ~label:"outage"
-       | None -> ());
+       end);
       let rec drain () =
         match Discipline.dequeue t.queue with
         | Some p ->
@@ -289,3 +345,11 @@ let set_down t flag =
     end
     else maybe_start t
   end
+
+(* Tie the transmitter's knot: the tx timer's action needs [t]. *)
+let create ?discipline sim ~id ~name ~src ~dst ~bandwidth ~prop_delay ~buffer =
+  let t =
+    make ?discipline sim ~id ~name ~src ~dst ~bandwidth ~prop_delay ~buffer
+  in
+  Engine.Sim.Timer.set_action t.tx_timer (fun () -> finish t);
+  t

@@ -12,6 +12,21 @@ type t = {
   retransmit : bool;
 }
 
+(* Sentinel for pooled slots (link transmitters, delivery free-lists):
+   compared with (==), never offered to a link or counted anywhere. *)
+let none =
+  {
+    id = -1;
+    conn = -1;
+    kind = Data;
+    seq = -1;
+    size = 0;
+    src = -1;
+    dst = -1;
+    born = neg_infinity;
+    retransmit = false;
+  }
+
 let kind_to_string = function Data -> "data" | Ack -> "ack"
 
 let pp ppf p =

@@ -21,6 +21,10 @@ type t = {
   retransmit : bool;  (** true if this data packet is a retransmission *)
 }
 
+(** Sentinel packet for pooled slots (physical-equality comparisons only).
+    Never transmit it or count it in any statistic. *)
+val none : t
+
 val kind_to_string : kind -> string
 val pp : Format.formatter -> t -> unit
 

@@ -5,7 +5,7 @@ type t = {
   mutable rcv_nxt : int;
   above_hole : (int, unit) Hashtbl.t;  (* out-of-order packets held back *)
   mutable delack_pending : bool;
-  mutable delack_timer : Engine.Sim.handle option;
+  delack_timer : Engine.Sim.Timer.timer;  (* persistent; re-armed in place *)
   mutable data_received : int;
   mutable out_of_order : int;
   mutable duplicates : int;
@@ -14,15 +14,18 @@ type t = {
   mutable last_ack : int;  (* last cumulative number ACKed, -1 if none *)
 }
 
-let create net config =
+let nop () = ()
+
+let make net config =
+  let sim = Net.Network.sim net in
   {
     net;
-    sim = Net.Network.sim net;
+    sim;
     config;
     rcv_nxt = 0;
     above_hole = Hashtbl.create 64;
     delack_pending = false;
-    delack_timer = None;
+    delack_timer = Engine.Sim.Timer.create sim nop;
     data_received = 0;
     out_of_order = 0;
     duplicates = 0;
@@ -40,8 +43,7 @@ let dup_acks_sent t = t.dup_acks_sent
 let buffered t = Hashtbl.length t.above_hole
 
 let cancel_delack t =
-  (match t.delack_timer with Some h -> Engine.Sim.cancel h | None -> ());
-  t.delack_timer <- None;
+  Engine.Sim.Timer.cancel t.delack_timer;
   t.delack_pending <- false
 
 let send_ack t =
@@ -57,6 +59,13 @@ let send_ack t =
   in
   Net.Network.send_from_host t.net ~host:t.config.Config.dst_host p
 
+let create net config =
+  let t = make net config in
+  Engine.Sim.Timer.set_action t.delack_timer (fun () ->
+      t.delack_pending <- false;
+      send_ack t);
+  t
+
 let ack_now t =
   cancel_delack t;
   send_ack t
@@ -68,13 +77,7 @@ let ack_in_order t =
   else if t.delack_pending then ack_now t
   else begin
     t.delack_pending <- true;
-    t.delack_timer <-
-      Some
-        (Engine.Sim.schedule t.sim ~delay:t.config.Config.delack_timeout
-           (fun () ->
-             t.delack_timer <- None;
-             t.delack_pending <- false;
-             send_ack t))
+    Engine.Sim.Timer.set t.delack_timer ~delay:t.config.Config.delack_timeout
   end
 
 let on_data t (p : Net.Packet.t) =

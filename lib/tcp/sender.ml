@@ -10,10 +10,12 @@ type t = {
   mutable snd_nxt : int;
   mutable highest_sent : int;  (* largest seq ever transmitted; -1 if none *)
   mutable dup_acks : int;
-  mutable timer : Engine.Sim.handle option;
+  timer : Engine.Sim.Timer.timer;
+      (* persistent retransmission timer: BSD cancels and restarts it on
+         every ACK, so it is re-armed in place rather than reallocated *)
   mutable timing : (int * float) option;  (* (seq, send time) being timed *)
   mutable next_send : float;  (* pacing: earliest permitted injection *)
-  mutable pacer : Engine.Sim.handle option;
+  pacer : Engine.Sim.Timer.timer;  (* persistent; armed only when pacing *)
   mutable data_sent : int;
   mutable retransmits : int;
   mutable timeouts : int;
@@ -25,10 +27,13 @@ type t = {
   mutable complete_hooks : (float -> unit) list;
 }
 
-let create net config =
+let nop () = ()
+
+let make net config =
+  let sim = Net.Network.sim net in
   {
     net;
-    sim = Net.Network.sim net;
+    sim;
     config;
     cong = Cong.create ~algorithm:config.Config.algorithm
         ~maxwnd:config.Config.maxwnd;
@@ -37,10 +42,10 @@ let create net config =
     snd_nxt = 0;
     highest_sent = -1;
     dup_acks = 0;
-    timer = None;
+    timer = Engine.Sim.Timer.create sim nop;
     timing = None;
     next_send = 0.;
-    pacer = None;
+    pacer = Engine.Sim.Timer.create sim nop;
     data_sent = 0;
     retransmits = 0;
     timeouts = 0;
@@ -87,19 +92,16 @@ let fire_loss t reason =
   let time = now t in
   List.iter (fun f -> f time reason) t.loss_hooks
 
-let cancel_timer t =
-  (match t.timer with Some h -> Engine.Sim.cancel h | None -> ());
-  t.timer <- None
+let cancel_timer t = Engine.Sim.Timer.cancel t.timer
 
 let rec arm_timer t =
-  cancel_timer t;
-  if t.config.Config.loss_detection then begin
-    let delay = Rto.timeout t.rto in
-    t.timer <- Some (Engine.Sim.schedule t.sim ~delay (fun () -> on_timeout t))
-  end
+  (* Re-arming in place consumes exactly one sequence number, like the
+     cancel-then-schedule it replaces, so event order is unchanged. *)
+  if t.config.Config.loss_detection then
+    Engine.Sim.Timer.set t.timer ~delay:(Rto.timeout t.rto)
+  else cancel_timer t
 
 and on_timeout t =
-  t.timer <- None;
   if t.snd_una < t.snd_nxt then begin
     t.timeouts <- t.timeouts + 1;
     Rto.backoff t.rto;
@@ -160,18 +162,11 @@ and paced_send t interval =
     if t.snd_nxt < limit then arm_pacer t interval
   end
 
-and arm_pacer t interval =
-  let pending =
-    match t.pacer with Some h -> Engine.Sim.pending h | None -> false
-  in
-  if not pending then begin
-    let delay = Float.max 0. (t.next_send -. now t) in
-    t.pacer <-
-      Some
-        (Engine.Sim.schedule t.sim ~delay (fun () ->
-             t.pacer <- None;
-             paced_send t interval))
-  end
+and arm_pacer t _interval =
+  (* The pacer's action (tied in [create]) already closes over the
+     interval; firing disarms the timer, so [pending] gates re-arming. *)
+  if not (Engine.Sim.Timer.pending t.pacer) then
+    Engine.Sim.Timer.set t.pacer ~delay:(Float.max 0. (t.next_send -. now t))
 
 and send_one t seq =
   let retransmit = seq <= t.highest_sent in
@@ -197,7 +192,16 @@ and send_one t seq =
   if skew > 0. then
     ignore (Engine.Sim.schedule t.sim ~delay:skew inject : Engine.Sim.handle)
   else inject ();
-  if t.timer = None then arm_timer t
+  if not (Engine.Sim.Timer.pending t.timer) then arm_timer t
+
+let create net config =
+  let t = make net config in
+  Engine.Sim.Timer.set_action t.timer (fun () -> on_timeout t);
+  (match config.Config.pacing with
+   | Some interval ->
+     Engine.Sim.Timer.set_action t.pacer (fun () -> paced_send t interval)
+   | None -> ());
+  t
 
 let start t = try_send t
 

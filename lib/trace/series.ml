@@ -70,9 +70,17 @@ let resample t ~t0 ~t1 ~dt =
   if dt <= 0. then invalid_arg "Series.resample: dt must be positive";
   if t1 <= t0 then invalid_arg "Series.resample: empty interval";
   let n = int_of_float (ceil ((t1 -. t0) /. dt -. 1e-9)) in
-  Array.init n (fun k ->
-      let time = t0 +. (dt *. float_of_int k) in
-      match value_at t ~time with None -> t.values.(0) | Some v -> v)
+  (* The grid times are non-decreasing in k, so a single merge sweep
+     replaces the per-point binary search: [j] tracks the last sample with
+     times.(j) <= grid time and only ever moves forward. *)
+  let out = Array.make n 0. in
+  let j = ref (-1) in
+  for k = 0 to n - 1 do
+    let time = t0 +. (dt *. float_of_int k) in
+    while !j + 1 < t.len && t.times.(!j + 1) <= time do incr j done;
+    out.(k) <- (if !j < 0 then t.values.(0) else t.values.(!j))
+  done;
+  out
 
 let window t ~t0 ~t1 =
   let acc = ref [] in

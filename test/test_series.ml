@@ -109,6 +109,54 @@ let prop_value_at_matches_scan =
       in
       Series.value_at s ~time:probe = expected)
 
+(* The merge-sweep resample must be bit-identical to evaluating value_at
+   at every grid point (the implementation it replaced).  Duplicate
+   sample times are allowed, so generate them too. *)
+let prop_resample_matches_value_at =
+  QCheck.Test.make ~name:"resample == value_at at every grid point" ~count:300
+    QCheck.(
+      quad
+        (list_of_size (Gen.int_range 1 30) (int_bound 40))
+        (int_bound 20) (* t0, quarters *)
+        (Gen.int_range 1 60 |> make) (* span, quarters *)
+        (Gen.int_range 1 8 |> make) (* dt, quarters *))
+    (fun (steps, t0q, spanq, dtq) ->
+      (* quarter-integer times force exact grid/sample coincidences *)
+      let times = List.sort compare (List.map (fun n -> float_of_int n /. 4.) steps) in
+      let samples = List.mapi (fun i t -> (t, float_of_int i)) times in
+      let s = series samples in
+      let t0 = float_of_int t0q /. 4. in
+      let dt = float_of_int dtq /. 4. in
+      let t1 = t0 +. (float_of_int spanq /. 4.) in
+      let xs = Series.resample s ~t0 ~t1 ~dt in
+      let ok = ref true in
+      Array.iteri
+        (fun k x ->
+          let time = t0 +. (dt *. float_of_int k) in
+          let expected =
+            match Series.value_at s ~time with
+            | None -> snd (List.hd samples)
+            | Some v -> v
+          in
+          if x <> expected then ok := false)
+        xs;
+      !ok)
+
+let test_resample_duplicate_times () =
+  (* With several samples at one instant, the last one wins, exactly as
+     value_at resolves it. *)
+  let s = series [ (0., 1.); (2., 2.); (2., 5.); (2., 7.); (4., 3.) ] in
+  let xs = Series.resample s ~t0:0. ~t1:6. ~dt:1. in
+  Alcotest.(check (array (float 0.))) "last sample at a tie wins"
+    [| 1.; 1.; 7.; 7.; 3.; 3. |] xs
+
+let test_resample_dense_grid () =
+  (* Grid much finer than the samples: the sweep must hold position. *)
+  let s = series [ (0., 1.); (1., 2.) ] in
+  let xs = Series.resample s ~t0:0. ~t1:2. ~dt:0.25 in
+  Alcotest.(check (array (float 0.))) "fine grid"
+    [| 1.; 1.; 1.; 1.; 2.; 2.; 2.; 2. |] xs
+
 let prop_mean_bounded =
   QCheck.Test.make ~name:"mean lies within [min, max]" ~count:200
     QCheck.(list_of_size (Gen.int_range 1 20) (float_bound_inclusive 50.))
@@ -133,6 +181,9 @@ let suite =
       Alcotest.test_case "resample" `Quick test_resample;
       Alcotest.test_case "resample before start" `Quick
         test_resample_before_start;
+      Alcotest.test_case "resample duplicate times" `Quick
+        test_resample_duplicate_times;
+      Alcotest.test_case "resample dense grid" `Quick test_resample_dense_grid;
       Alcotest.test_case "min_max" `Quick test_min_max;
       Alcotest.test_case "mean constant" `Quick test_mean_constant;
       Alcotest.test_case "mean step" `Quick test_mean_step;
@@ -140,5 +191,6 @@ let suite =
       Alcotest.test_case "iter/to_list" `Quick test_iter_to_list;
       Alcotest.test_case "errors" `Quick test_errors;
       QCheck_alcotest.to_alcotest prop_value_at_matches_scan;
+      QCheck_alcotest.to_alcotest prop_resample_matches_value_at;
       QCheck_alcotest.to_alcotest prop_mean_bounded;
     ] )

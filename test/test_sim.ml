@@ -228,6 +228,166 @@ let prop_cancel_bounded =
           Sim.queue_length sim <= (2 * !live) + 64)
         cancels)
 
+(* ------------------------------------------------------------------ *)
+(* Reusable timers (Sim.Timer)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_timer_basics () =
+  let sim = Sim.create () in
+  let fires = ref [] in
+  let tm = Sim.Timer.create sim (fun () -> fires := Sim.now sim :: !fires) in
+  Alcotest.(check bool) "fresh timer not pending" false (Sim.Timer.pending tm);
+  Sim.Timer.set tm ~delay:2.;
+  Alcotest.(check bool) "armed" true (Sim.Timer.pending tm);
+  (* Re-arming moves the deadline: only the final setting fires. *)
+  Sim.Timer.set tm ~delay:5.;
+  Sim.run sim ~until:3.;
+  Alcotest.(check (list (float 0.))) "old deadline gone" [] !fires;
+  Sim.run sim ~until:10.;
+  Alcotest.(check (list (float 1e-9))) "fires at re-armed time" [ 5. ] !fires;
+  Alcotest.(check bool) "disarmed after firing" false (Sim.Timer.pending tm);
+  (* The same timer is reusable after firing, and set_at takes an
+     absolute time. *)
+  Sim.Timer.set_at tm ~time:12.;
+  Sim.Timer.cancel tm;
+  Alcotest.(check bool) "cancel disarms" false (Sim.Timer.pending tm);
+  Sim.Timer.cancel tm;  (* double-cancel is a no-op *)
+  Sim.Timer.set tm ~delay:4.;
+  Sim.run_to_completion sim;
+  Alcotest.(check (list (float 1e-9))) "reused after cancel" [ 14.; 5. ] !fires
+
+let test_timer_same_time_fifo () =
+  (* A timer armed at the same instant as plain scheduled events keeps
+     its insertion rank: arming consumes one sequence number exactly
+     like Sim.schedule. *)
+  let sim = Sim.create () in
+  let log = ref [] in
+  let note tag () = log := tag :: !log in
+  ignore (Sim.schedule sim ~delay:1. (note "a") : Sim.handle);
+  let tm = Sim.Timer.create sim (note "b") in
+  Sim.Timer.set tm ~delay:1.;
+  ignore (Sim.schedule sim ~delay:1. (note "c") : Sim.handle);
+  Sim.run_to_completion sim;
+  Alcotest.(check (list string)) "insertion order at a tie" [ "a"; "b"; "c" ]
+    (List.rev !log)
+
+(* The retransmission-timer workload: every "ACK" pushes the deadline
+   out, so the timer is re-armed thousands of times but fires once.  The
+   queue must stay at the live-event count (one ack chain + one timer) —
+   re-arming in place must not leave debris behind. *)
+let test_timer_rearm_storm () =
+  let sim = Sim.create () in
+  let fires = ref [] in
+  let tm = Sim.Timer.create sim (fun () -> fires := Sim.now sim :: !fires) in
+  let acks = 10_000 in
+  let max_len = ref 0 in
+  let rec ack n () =
+    Sim.Timer.set tm ~delay:3.;
+    max_len := max !max_len (Sim.queue_length sim);
+    if n > 0 then
+      ignore (Sim.schedule sim ~delay:0.001 (ack (n - 1)) : Sim.handle)
+  in
+  ignore (Sim.schedule sim ~delay:0.001 (ack (acks - 1)) : Sim.handle);
+  Sim.run_to_completion sim;
+  let last_ack_time = 0.001 *. float_of_int acks in
+  Alcotest.(check (list (float 1e-6)))
+    "single firing, 3s after the last re-arm"
+    [ last_ack_time +. 3. ]
+    !fires;
+  Alcotest.(check bool)
+    (Printf.sprintf "queue stayed at live size (max %d)" !max_len)
+    true (!max_len <= 2);
+  Alcotest.(check int) "acks + one timer firing" (acks + 1)
+    (Sim.events_run sim)
+
+let test_timer_set_action () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let tm = Sim.Timer.create sim (fun () -> log := "old" :: !log) in
+  Sim.Timer.set tm ~delay:1.;
+  Sim.Timer.set_action tm (fun () -> log := "new" :: !log);
+  Sim.run_to_completion sim;
+  Alcotest.(check (list string)) "replaced action fires" [ "new" ] !log
+
+let test_timer_errors () =
+  let sim = Sim.create () in
+  let tm = Sim.Timer.create sim (fun () -> ()) in
+  Alcotest.check_raises "NaN delay"
+    (Invalid_argument "Sim.Timer.set: NaN delay") (fun () ->
+      Sim.Timer.set tm ~delay:Float.nan);
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Sim.Timer.set: negative delay -1") (fun () ->
+      Sim.Timer.set tm ~delay:(-1.));
+  Alcotest.check_raises "NaN time"
+    (Invalid_argument "Sim.Timer.set_at: NaN time") (fun () ->
+      Sim.Timer.set_at tm ~time:Float.nan);
+  Sim.run sim ~until:5.;
+  Alcotest.check_raises "past time"
+    (Invalid_argument "Sim.Timer.set_at: time 1 is before current time 5")
+    (fun () -> Sim.Timer.set_at tm ~time:1.)
+
+(* Observational equivalence: a Timer driven by arbitrary set/cancel/
+   advance interleavings behaves exactly like the closure-based
+   cancel-then-reschedule pattern it replaces — same fire times, same
+   order (including same-instant ties against other traffic), same
+   pending answers.  Delays are drawn from a half-integer grid so that
+   ties actually occur. *)
+let prop_timer_equivalence =
+  let n_timers = 4 in
+  let op =
+    QCheck.(
+      map
+        (fun (tag, i, steps) ->
+          let d = float_of_int steps /. 2. in
+          (tag mod 3, i mod n_timers, d))
+        (triple (int_bound 2) (int_bound (n_timers - 1)) (int_bound 10)))
+  in
+  QCheck.Test.make ~name:"Timer.set/cancel == cancel+reschedule" ~count:300
+    (QCheck.list op)
+    (fun ops ->
+      let simA = Sim.create () and simB = Sim.create () in
+      let logA = ref [] and logB = ref [] in
+      let timers =
+        Array.init n_timers (fun i ->
+            Sim.Timer.create simA (fun () ->
+                logA := (i, Sim.now simA) :: !logA))
+      in
+      let href = Array.make n_timers None in
+      List.iter
+        (fun (tag, i, d) ->
+          match tag with
+          | 0 ->
+            (* arm / re-arm *)
+            Sim.Timer.set timers.(i) ~delay:d;
+            (match href.(i) with Some h -> Sim.cancel h | None -> ());
+            href.(i) <-
+              Some
+                (Sim.schedule simB ~delay:d (fun () ->
+                     logB := (i, Sim.now simB) :: !logB))
+          | 1 ->
+            Sim.Timer.cancel timers.(i);
+            (match href.(i) with Some h -> Sim.cancel h | None -> ())
+          | _ ->
+            (* advance both clocks together *)
+            Sim.run simA ~until:(Sim.now simA +. d);
+            Sim.run simB ~until:(Sim.now simB +. d))
+        ops;
+      let pending_agree =
+        Array.to_list
+          (Array.mapi
+             (fun i tm ->
+               Sim.Timer.pending tm
+               = (match href.(i) with
+                  | Some h -> Sim.pending h
+                  | None -> false))
+             timers)
+        |> List.for_all Fun.id
+      in
+      Sim.run_to_completion simA;
+      Sim.run_to_completion simB;
+      pending_agree && !logA = !logB
+      && Sim.events_run simA = Sim.events_run simB)
+
 let suite =
   ( "sim",
     [
@@ -251,6 +411,13 @@ let suite =
       Alcotest.test_case "step" `Quick test_step;
       Alcotest.test_case "observer order" `Quick test_observer_order;
       Alcotest.test_case "cancel compaction" `Quick test_cancel_compaction;
+      Alcotest.test_case "timer basics" `Quick test_timer_basics;
+      Alcotest.test_case "timer same-time FIFO" `Quick
+        test_timer_same_time_fifo;
+      Alcotest.test_case "timer re-arm storm" `Quick test_timer_rearm_storm;
+      Alcotest.test_case "timer set_action" `Quick test_timer_set_action;
+      Alcotest.test_case "timer error messages" `Quick test_timer_errors;
       QCheck_alcotest.to_alcotest prop_cancel_semantics;
       QCheck_alcotest.to_alcotest prop_cancel_bounded;
+      QCheck_alcotest.to_alcotest prop_timer_equivalence;
     ] )
