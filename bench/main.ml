@@ -558,6 +558,117 @@ let run_faults_overhead () =
     (100. *. ((lossy /. none) -. 1.))
 
 (* ------------------------------------------------------------------ *)
+(* 6. Observability overhead                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Cost of the lib/obs probe on the engine-bench run, in three
+   configurations:
+     off      — Probe.disabled: no hooks installed at all; must match the
+                bare runtime (this is the zero-overhead-when-absent claim)
+     metrics  — counters/gauges/histograms registered on every link and
+                connection; the per-event cost is an int store
+     trace    — full structured tracing (JSONL + Chrome + flight ring)
+                into sinks that drop the bytes, so the number measures
+                formatting, not disk
+   [--json] commits the numbers to BENCH_obs.json; [--check FILE] gates
+   each overhead percentage at the committed figure plus 25 percentage
+   points (ratios of wall-clock runs are too noisy for a relative band). *)
+
+type obs_profile = {
+  op_off_ms : float;
+  op_metrics_ms : float;
+  op_trace_ms : float;
+  op_metrics_pct : float;
+  op_trace_pct : float;
+  op_events_traced : int;
+}
+
+let measure_obs () =
+  let scenario = engine_scenario () in
+  let time ~obs =
+    let reps = 5 in
+    ignore (Core.Runner.run ~obs:(obs ()) scenario : Core.Runner.result);
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (Core.Runner.run ~obs:(obs ()) scenario : Core.Runner.result);
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    !best
+  in
+  let drop (_ : string) = () in
+  let trace_setup () =
+    Obs.Probe.setup ~metrics:false ~jsonl:drop ~chrome:drop ~flight:256 ()
+  in
+  let off = time ~obs:(fun () -> Obs.Probe.disabled) in
+  let metrics = time ~obs:(fun () -> Obs.Probe.setup ()) in
+  let trace = time ~obs:trace_setup in
+  let events_traced =
+    let r = Core.Runner.run ~obs:(trace_setup ()) scenario in
+    match r.Core.Runner.obs with
+    | Some probe -> Obs.Probe.events_traced probe
+    | None -> 0
+  in
+  let pct x = 100. *. ((x /. off) -. 1.) in
+  {
+    op_off_ms = 1000. *. off;
+    op_metrics_ms = 1000. *. metrics;
+    op_trace_ms = 1000. *. trace;
+    op_metrics_pct = pct metrics;
+    op_trace_pct = pct trace;
+    op_events_traced = events_traced;
+  }
+
+let print_obs_profile (p : obs_profile) =
+  Printf.printf "obs off:      %8.2f ms\n" p.op_off_ms;
+  Printf.printf "metrics on:   %8.2f ms  (%+.1f %%)\n" p.op_metrics_ms
+    p.op_metrics_pct;
+  Printf.printf "full tracing: %8.2f ms  (%+.1f %%, %d events)\n"
+    p.op_trace_ms p.op_trace_pct p.op_events_traced
+
+let write_obs_json file (p : obs_profile) =
+  let oc = open_out file in
+  Printf.fprintf oc
+    "{\n  \"scenario\": \"fig4-two-way-100s\",\n\
+    \  \"off_ms\": %.2f,\n  \"metrics_ms\": %.2f,\n  \"trace_ms\": %.2f,\n\
+    \  \"metrics_overhead_pct\": %.1f,\n  \"trace_overhead_pct\": %.1f,\n\
+    \  \"events_traced\": %d\n}\n"
+    p.op_off_ms p.op_metrics_ms p.op_trace_ms p.op_metrics_pct p.op_trace_pct
+    p.op_events_traced;
+  close_out oc;
+  Printf.printf "wrote %s\n" file
+
+let run_obs ~json () =
+  banner "OBSERVABILITY OVERHEAD: lib/obs probe off / metrics / tracing";
+  let p = measure_obs () in
+  print_obs_profile p;
+  if json then write_obs_json "BENCH_obs.json" p;
+  0
+
+let run_obs_check baseline_file =
+  banner "OBSERVABILITY OVERHEAD: check against committed baseline";
+  let base_metrics = json_number_field baseline_file "metrics_overhead_pct" in
+  let base_trace = json_number_field baseline_file "trace_overhead_pct" in
+  let p = measure_obs () in
+  print_obs_profile p;
+  write_obs_json "BENCH_obs.current.json" p;
+  let check name measured base =
+    (* 25% of the baseline plus 25 percentage points: the relative part
+       scales with heavyweight baselines (full tracing sits in the
+       thousands of percent, where run-to-run noise is also hundreds of
+       points), the absolute part keeps near-zero baselines checkable. *)
+    let limit = (base *. 1.25) +. 25. in
+    let ok = measured <= limit in
+    Printf.printf "%-24s %+9.1f %%  (baseline %+.1f, limit %+.1f)  %s\n" name
+      measured base limit
+      (if ok then "ok" else "REGRESSION");
+    ok
+  in
+  let metrics_ok = check "metrics overhead" p.op_metrics_pct base_metrics in
+  let trace_ok = check "trace overhead" p.op_trace_pct base_trace in
+  if metrics_ok && trace_ok then 0 else 1
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -574,6 +685,9 @@ let () =
     | [ "engine" ] -> run_engine ~json:false ()
     | [ "engine"; "--json" ] -> run_engine ~json:true ()
     | [ "engine"; "--check"; baseline ] -> run_engine_check baseline
+    | [ "obs" ] -> run_obs ~json:false ()
+    | [ "obs"; "--json" ] -> run_obs ~json:true ()
+    | [ "obs"; "--check"; baseline ] -> run_obs_check baseline
     | [ "gallery" ] ->
       run_gallery ();
       0

@@ -4,8 +4,10 @@
      experiment  run one (or all) of the paper's experiments and print
                  paper-vs-measured tables
      run         simulate a custom dumbbell scenario and print a summary
+     sweep       run a scenario grid across parallel workers
      plot        ASCII queue/cwnd plots of a paper figure
-     dump        write every figure's traces as CSV files               *)
+     dump        write every figure's traces as CSV files
+     tracecheck  validate a JSONL event trace produced by run           *)
 
 open Cmdliner
 
@@ -233,10 +235,121 @@ let fault_term =
     const mk $ loss $ burst $ outage $ jitter $ jitter_reorder $ dup $ dir
     $ seed)
 
+(* ---------------- observability flags ---------------- *)
+
+type obs_cli = {
+  metrics_out : string option;
+  metrics_dt : float option;
+  trace_out : string option;
+  flight : int;
+  json : bool;
+}
+
+let obs_term =
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the final metrics snapshot (and, with \
+             $(b,--metrics-dt), the recorded per-metric series) as JSON \
+             to FILE.")
+  in
+  let metrics_dt =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "metrics-dt" ] ~docv:"SECONDS"
+          ~doc:
+            "Also sample every metric each SECONDS of simulated time \
+             into step series.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the structured event trace as JSONL to FILE and as a \
+             Chrome trace_event file (Perfetto-loadable) to \
+             FILE.chrome.json.")
+  in
+  let flight =
+    Arg.(
+      value & opt int 0
+      & info [ "flight-recorder" ] ~docv:"N"
+          ~doc:
+            "Keep the last N trace events in a ring and dump them to \
+             stderr when a validation checker fires or the run fails.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the run summary as one JSON object (with the final \
+             metrics snapshot embedded) instead of the human-readable \
+             report.")
+  in
+  let mk metrics_out metrics_dt trace_out flight json =
+    { metrics_out; metrics_dt; trace_out; flight; json }
+  in
+  Term.(const mk $ metrics_out $ metrics_dt $ trace_out $ flight $ json)
+
+(* [FILE] for the JSONL stream, [FILE.chrome.json] for the Chrome view. *)
+let chrome_file f = f ^ ".chrome.json"
+
+let obs_setup_of_cli (cli : obs_cli) ~channels =
+  let metrics = cli.metrics_out <> None || cli.json in
+  if not (metrics || cli.trace_out <> None || cli.flight > 0) then
+    Obs.Probe.disabled
+  else begin
+    let jsonl, chrome =
+      match cli.trace_out with
+      | None -> (None, None)
+      | Some file ->
+        let oc = open_out file in
+        let occ = open_out (chrome_file file) in
+        channels := occ :: oc :: !channels;
+        (Some (output_string oc), Some (output_string occ))
+    in
+    Obs.Probe.setup ~metrics
+      ?series_dt:(if metrics then cli.metrics_dt else None)
+      ?jsonl ?chrome
+      ?flight:(if cli.flight > 0 then Some cli.flight else None)
+      ()
+  end
+
+(* {"final":{...},"series":{"name":[[t,v],...],...}} *)
+let metrics_file_json probe =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"final\":";
+  Buffer.add_string buf (Obs.Probe.metrics_json probe);
+  (match Obs.Probe.series probe with
+   | [] -> ()
+   | series ->
+     Buffer.add_string buf ",\"series\":{";
+     List.iteri
+       (fun i (name, s) ->
+         if i > 0 then Buffer.add_char buf ',';
+         Printf.bprintf buf "\"%s\":[" name;
+         let first = ref true in
+         Trace.Series.iter s ~f:(fun ~time ~value ->
+             if not !first then Buffer.add_char buf ',';
+             first := false;
+             Printf.bprintf buf "[%.9g,%.9g]" time value);
+         Buffer.add_char buf ']')
+       series;
+     Buffer.add_char buf '}');
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
 (* ---------------- run ---------------- *)
 
 let run_custom tau buffer fwd rev fixed delack ack_size algorithm pacing
-    gateway flow_size skew duration warmup csv_dir validate faults_cli =
+    gateway flow_size skew duration warmup csv_dir validate faults_cli
+    obs_cli =
   if fwd + rev = 0 && fixed = None then begin
     prerr_endline "nothing to simulate: need --fwd, --rev or --fixed";
     exit 2
@@ -286,7 +399,25 @@ let run_custom tau buffer fwd rev fixed delack ack_size algorithm pacing
       ?faults:(fault_sites faults_cli)
       ~fault_seed:faults_cli.seed ()
   in
-  let r = Core.Runner.run scenario in
+  let channels = ref [] in
+  let obs_setup = obs_setup_of_cli obs_cli ~channels in
+  let r = Core.Runner.run ~obs:obs_setup scenario in
+  (* Runner already finished the probe (chrome footer written). *)
+  List.iter close_out !channels;
+  (match (obs_cli.metrics_out, r.obs) with
+   | Some file, Some probe ->
+     let oc = open_out file in
+     output_string oc (metrics_file_json probe);
+     close_out oc
+   | _ -> ());
+  if obs_cli.json then begin
+    print_string (Sweep.Summary.to_json (Sweep.Summary.of_result ~id:"custom" r));
+    print_newline ();
+    match Core.Runner.validation_report r with
+    | Some report when not (Validate.Report.is_clean report) -> 1
+    | _ -> 0
+  end
+  else begin
   List.iter
     (fun (_site, plan) -> Printf.printf "faults: %s\n" (Faults.Plan.summary plan))
     r.fault_plans;
@@ -336,7 +467,20 @@ let run_custom tau buffer fwd rev fixed delack ack_size algorithm pacing
    | Some dir ->
      let files = Core.Export.run_csv ~dir ~prefix:"custom" r in
      Printf.printf "wrote %d CSV files under %s\n" (List.length files) dir);
+  (match r.obs with
+   | Some probe ->
+     (match obs_cli.trace_out with
+      | Some file ->
+        Printf.printf "trace: %d events -> %s and %s\n"
+          (Obs.Probe.events_traced probe)
+          file (chrome_file file)
+      | None -> ());
+     Option.iter
+       (fun file -> Printf.printf "metrics: wrote %s\n" file)
+       obs_cli.metrics_out
+   | None -> ());
   report_validation r
+  end
 
 let fixed_conv =
   let parse s =
@@ -441,7 +585,7 @@ let run_cmd =
     Term.(
       const run_custom $ tau $ buffer $ fwd $ rev $ fixed $ delack $ ack_size
       $ algorithm $ pacing $ gateway $ flow_size $ skew $ duration $ warmup
-      $ csv $ validate_flag $ fault_term)
+      $ csv $ validate_flag $ fault_term $ obs_term)
 
 (* ---------------- sweep ---------------- *)
 
@@ -608,12 +752,46 @@ let dump_cmd =
     (Cmd.info "dump" ~doc:"Write every figure's traces as CSV.")
     Term.(const dump_figures $ dir $ quick_flag $ validate_flag)
 
+(* ---------------- tracecheck ---------------- *)
+
+let run_tracecheck file key =
+  let ic = open_in_bin file in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  match Obs.Json.validate_jsonl ~key text with
+  | Ok count ->
+    Printf.printf "%s: OK (%d events, %S monotone)\n" file count key;
+    0
+  | Error msg ->
+    Printf.eprintf "%s: INVALID: %s\n" file msg;
+    1
+
+let tracecheck_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"JSONL trace to validate.")
+  in
+  let key =
+    Arg.(
+      value & opt string "t"
+      & info [ "key" ] ~docv:"FIELD"
+          ~doc:"Timestamp field that must be numeric and non-decreasing.")
+  in
+  Cmd.v
+    (Cmd.info "tracecheck"
+       ~doc:
+         "Validate a JSONL event trace: every line parses as a JSON \
+          object and timestamps never go backwards.")
+    Term.(const run_tracecheck $ file_arg $ key)
+
 let main =
   Cmd.group
     (Cmd.info "netsim" ~version:"1.0.0"
        ~doc:
          "Dynamics of the BSD 4.3-Tahoe TCP congestion control algorithm \
           under two-way traffic (Zhang, Shenker & Clark, SIGCOMM '91).")
-    [ experiment_cmd; run_cmd; sweep_cmd; plot_cmd; dump_cmd ]
+    [ experiment_cmd; run_cmd; sweep_cmd; plot_cmd; dump_cmd; tracecheck_cmd ]
 
 let () = exit (Cmd.eval' main)

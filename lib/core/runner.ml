@@ -17,6 +17,7 @@ type result = {
   delivered : int array;
   validation : Validate.Harness.t option;
   fault_plans : (Scenario.fault_site * Faults.Plan.t) list;
+  obs : Obs.Probe.t option;
 }
 
 (* NETSIM_VALIDATE=1 (any value but "" / "0") forces validation on for
@@ -40,7 +41,7 @@ let connection_config (d : Net.Topology.dumbbell) ~conn_id
     ~rto_params:spec.rto_params ~pacing:spec.pacing ~rtt_skew:spec.rtt_skew
     ~flow_size:spec.flow_size ()
 
-let run (scenario : Scenario.t) =
+let run ?(obs = Obs.Probe.disabled) (scenario : Scenario.t) =
   let sim = Engine.Sim.create () in
   let params = Net.Topology.params ~gateway:scenario.gateway ~tau:scenario.tau
       ~buffer:scenario.buffer () in
@@ -75,6 +76,23 @@ let run (scenario : Scenario.t) =
            ~conns:(Array.to_list (Array.map snd conns)))
     else None
   in
+  let obs =
+    if Obs.Probe.is_enabled obs then begin
+      let probe =
+        Obs.Probe.attach obs ~net:dumbbell.net
+          ~conns:
+            (List.mapi
+               (fun i (_spec, c) -> (i + 1, c))
+               (Array.to_list conns))
+      in
+      (match validation with
+       | Some harness ->
+         Obs.Probe.arm_report probe (Validate.Harness.report harness)
+       | None -> ());
+      Some probe
+    end
+    else None
+  in
   let now = Engine.Sim.now sim in
   let q1 = Trace.Queue_trace.attach dumbbell.fwd ~now in
   let q2 = Trace.Queue_trace.attach dumbbell.bwd ~now in
@@ -104,7 +122,17 @@ let run (scenario : Scenario.t) =
              delivered_at_warmup.(i) <- Tcp.Connection.delivered c)
            conns)
       : Engine.Sim.handle);
-  Engine.Sim.run sim ~until:scenario.duration;
+  (try Engine.Sim.run sim ~until:scenario.duration
+   with exn ->
+     (* Salvage the postmortem before the exception unwinds the run. *)
+     (match obs with
+      | Some probe ->
+        Obs.Probe.dump_flight probe
+          ~reason:
+            (Printf.sprintf "Sim.run raised %s" (Printexc.to_string exn));
+        Obs.Probe.finish probe
+      | None -> ());
+     raise exn);
   let now = Engine.Sim.now sim in
   (match validation with
    | None -> ()
@@ -123,6 +151,7 @@ let run (scenario : Scenario.t) =
               scenario.name
               (Validate.Report.summary report))
      end);
+  (match obs with Some probe -> Obs.Probe.finish probe | None -> ());
   let util_fwd, util_bwd =
     match !meters with
     | Some (fwd, bwd) ->
@@ -154,6 +183,7 @@ let run (scenario : Scenario.t) =
     delivered;
     validation;
     fault_plans;
+    obs;
   }
 
 let validation_report r =

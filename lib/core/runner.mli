@@ -25,13 +25,24 @@ type result = {
   fault_plans : (Scenario.fault_site * Faults.Plan.t) list;
       (** live fault plans (with their injection ledgers), one per entry
           in [scenario.faults] *)
+  obs : Obs.Probe.t option;
+      (** the attached observability probe, when [run] was given an
+          enabled setup *)
 }
 
 (** Build and run to completion.  When validation is enabled the
     invariant checkers run inside the simulation; a violated invariant is
     printed to stderr (and, when forced via [NETSIM_VALIDATE] rather than
-    the scenario flag, raises [Failure]). *)
-val run : Scenario.t -> result
+    the scenario flag, raises [Failure]).
+
+    [obs] (default {!Obs.Probe.disabled}) configures the observability
+    probe: metrics, trace sinks, and the flight recorder.  The probe is
+    attached before the run, armed on the validation report when there
+    is one (first violation dumps the flight ring), and finished (trace
+    outputs closed) when the run ends — including when [Sim.run]
+    raises, in which case the flight ring is dumped first and the
+    exception re-raised. *)
+val run : ?obs:Obs.Probe.setup -> Scenario.t -> result
 
 (** The finalized validation report, if validation was enabled. *)
 val validation_report : result -> Validate.Report.t option

@@ -1,0 +1,35 @@
+type t = {
+  ring : string array;
+  mutable total : int; (* ever recorded; next slot is total mod capacity *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Flight.create: capacity must be >= 1";
+  { ring = Array.make capacity ""; total = 0 }
+
+let capacity t = Array.length t.ring
+let length t = min t.total (Array.length t.ring)
+let total t = t.total
+
+let record t line =
+  t.ring.(t.total mod Array.length t.ring) <- line;
+  t.total <- t.total + 1
+
+let entries t =
+  let cap = Array.length t.ring in
+  let n = length t in
+  let first = t.total - n in
+  List.init n (fun i -> t.ring.((first + i) mod cap))
+
+let dump t ~reason write =
+  let n = length t in
+  write
+    (Printf.sprintf
+       "=== flight recorder: %s (last %d of %d events) ===\n" reason n
+       t.total);
+  List.iter
+    (fun line ->
+      write line;
+      write "\n")
+    (entries t);
+  write "=== end flight recorder ===\n"

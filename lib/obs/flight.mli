@@ -1,0 +1,30 @@
+(** Flight recorder: a bounded ring of the most recent trace lines.
+
+    The recorder keeps the last [capacity] rendered JSONL lines so that
+    when something goes wrong mid-run — an invariant checker fires, a
+    fault experiment diverges, [Sim.run] raises — the events leading up
+    to the failure can be dumped as a postmortem instead of being lost
+    with the process. *)
+
+type t
+
+(** @raise Invalid_argument if [capacity < 1]. *)
+val create : capacity:int -> t
+
+val capacity : t -> int
+
+(** Entries currently held (at most [capacity]). *)
+val length : t -> int
+
+(** Total entries ever recorded, including overwritten ones. *)
+val total : t -> int
+
+val record : t -> string -> unit
+
+(** Held entries, oldest first. *)
+val entries : t -> string list
+
+(** [dump t ~reason write] sends a postmortem to [write]: a banner naming
+    [reason] and how many of the total events are shown, then each held
+    line, oldest first, each terminated with a newline. *)
+val dump : t -> reason:string -> (string -> unit) -> unit

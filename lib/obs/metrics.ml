@@ -1,0 +1,162 @@
+type counter = int ref
+type gauge = float array (* 1 cell; flat array avoids boxing on store *)
+
+type histogram = {
+  bounds : float array; (* strictly increasing upper bounds *)
+  counts : int array; (* length bounds + 1; last is overflow *)
+}
+
+type cell =
+  | Counter of counter
+  | Gauge of gauge
+  | Gauge_fn of (unit -> float)
+  | Histogram of histogram
+
+type metric = { name : string; cell : cell }
+
+type t = {
+  mutable metrics : metric list; (* newest first *)
+  names : (string, unit) Hashtbl.t;
+}
+
+let create () = { metrics = []; names = Hashtbl.create 32 }
+let size t = List.length t.metrics
+
+let register t name cell =
+  if Hashtbl.mem t.names name then
+    invalid_arg (Printf.sprintf "Metrics: duplicate metric %S" name);
+  Hashtbl.add t.names name ();
+  t.metrics <- { name; cell } :: t.metrics
+
+let counter t name =
+  let c = ref 0 in
+  register t name (Counter c);
+  c
+
+let gauge t name =
+  let g = [| 0. |] in
+  register t name (Gauge g);
+  g
+
+let gauge_fn t name f = register t name (Gauge_fn f)
+
+let histogram t name ~bounds =
+  let n = Array.length bounds in
+  if n = 0 then invalid_arg "Metrics.histogram: empty bounds";
+  for i = 1 to n - 1 do
+    if bounds.(i) <= bounds.(i - 1) then
+      invalid_arg "Metrics.histogram: bounds must be strictly increasing"
+  done;
+  let h = { bounds = Array.copy bounds; counts = Array.make (n + 1) 0 } in
+  register t name (Histogram h);
+  h
+
+let incr (c : counter) = Stdlib.incr c
+let add (c : counter) n = c := !c + n
+let counter_value (c : counter) = !c
+let set (g : gauge) v = g.(0) <- v
+let gauge_value (g : gauge) = g.(0)
+
+(* Linear scan: bucket counts are small (a handful of bounds), so this
+   beats binary search and stays branch-predictable. *)
+let observe h v =
+  let n = Array.length h.bounds in
+  let i = ref 0 in
+  while !i < n && v > h.bounds.(!i) do
+    Stdlib.incr i
+  done;
+  h.counts.(!i) <- h.counts.(!i) + 1
+
+(* %g keeps bucket-bound names stable and short (0.5, 10, 1e+06). *)
+let bound_name name b = Printf.sprintf "%s.le_%g" name b
+
+let snapshot t =
+  List.concat_map
+    (fun m ->
+      match m.cell with
+      | Counter c -> [ (m.name, float_of_int !c) ]
+      | Gauge g -> [ (m.name, g.(0)) ]
+      | Gauge_fn f -> [ (m.name, f ()) ]
+      | Histogram h ->
+        let n = Array.length h.bounds in
+        let cumulative = ref 0 in
+        let buckets =
+          List.init n (fun i ->
+              cumulative := !cumulative + h.counts.(i);
+              (bound_name m.name h.bounds.(i), float_of_int !cumulative))
+        in
+        let total = !cumulative + h.counts.(n) in
+        buckets
+        @ [
+            (m.name ^ ".le_inf", float_of_int total);
+            (m.name ^ ".count", float_of_int total);
+          ])
+    (List.rev t.metrics)
+
+let find t name =
+  List.assoc_opt name (snapshot t)
+
+let float_json f =
+  if Float.is_nan f || Float.abs f = Float.infinity then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  "{"
+  ^ String.concat ","
+      (List.map
+         (fun (k, v) -> Printf.sprintf "\"%s\":%s" (escape k) (float_json v))
+         (snapshot t))
+  ^ "}"
+
+(* ------------------------------------------------------------------ *)
+(* Periodic recording                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type recorder = {
+  registry : t;
+  sim : Engine.Sim.t;
+  dt : float;
+  series : (string * Trace.Series.t) list; (* registration order, fixed *)
+  timer : Engine.Sim.Timer.timer;
+}
+
+let sample r =
+  let now = Engine.Sim.now r.sim in
+  List.iter2
+    (fun (_, series) (_, v) -> Trace.Series.add series ~time:now ~value:v)
+    r.series (snapshot r.registry)
+
+let record t sim ~dt =
+  if Float.is_nan dt || dt <= 0. then
+    invalid_arg "Metrics.record: dt must be positive";
+  let series =
+    List.map (fun (name, _) -> (name, Trace.Series.create ())) (snapshot t)
+  in
+  let r =
+    { registry = t; sim; dt; series;
+      timer = Engine.Sim.Timer.create sim (fun () -> ()) }
+  in
+  Engine.Sim.Timer.set_action r.timer (fun () ->
+      sample r;
+      Engine.Sim.Timer.set r.timer ~delay:r.dt);
+  sample r;
+  Engine.Sim.Timer.set r.timer ~delay:dt;
+  r
+
+let recorder_series r = r.series

@@ -1,0 +1,81 @@
+(** Metrics registry: named counters, gauges, and fixed-bucket histograms.
+
+    Cells are flat mutable storage — an [int ref] per counter, a
+    one-element float array per gauge (a float field of a mixed record
+    would box on every store), an int array per histogram — so the
+    increment path allocates nothing.  Registration happens once, at
+    attach time; the per-event cost is a bounds check and a store.
+
+    Derived gauges ({!gauge_fn}) are sampled only when a snapshot is
+    taken, so wiring one costs nothing during the run.  Snapshots list
+    metrics in registration order, which makes their JSON encoding a pure
+    function of the registry contents (the sweep determinism diff relies
+    on this). *)
+
+type t
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** Number of registered metrics (histograms count once). *)
+val size : t -> int
+
+(** [counter t name] registers a fresh counter.
+    @raise Invalid_argument if [name] is already registered. *)
+val counter : t -> string -> counter
+
+(** @raise Invalid_argument if [name] is already registered. *)
+val gauge : t -> string -> gauge
+
+(** A gauge computed on demand: [f ()] is called at snapshot time only.
+    @raise Invalid_argument if [name] is already registered. *)
+val gauge_fn : t -> string -> (unit -> float) -> unit
+
+(** [histogram t name ~bounds] registers a histogram with one bucket per
+    upper bound plus an overflow bucket.
+    @raise Invalid_argument if [bounds] is empty, not strictly
+    increasing, or [name] is already registered. *)
+val histogram : t -> string -> bounds:float array -> histogram
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** Record one observation: the count of the first bucket whose upper
+    bound is [>= v] (or the overflow bucket) is incremented. *)
+val observe : histogram -> float -> unit
+
+(** Scalar view of every metric, in registration order.  A histogram
+    expands to cumulative [name.le_<bound>] entries, [name.le_inf], and
+    [name.count]. *)
+val snapshot : t -> (string * float) list
+
+(** Value of one snapshot entry, by expanded name. *)
+val find : t -> string -> float option
+
+(** Deterministic JSON object over {!snapshot}: fixed key order, [%.9g]
+    floats, integral values printed without a fractional part. *)
+val to_json : t -> string
+
+(** {2 Periodic snapshots into step series}
+
+    A recorder samples every metric registered at attach time on a fixed
+    simulated-time cadence, appending to one {!Trace.Series.t} per
+    expanded metric name.  The sampling event is pure observation — it
+    reads cells and appends to series, never touches model state — so
+    enabling it cannot change simulation results. *)
+
+type recorder
+
+(** [record t sim ~dt] samples immediately and then every [dt] seconds.
+    Metrics registered after this call are not recorded.
+    @raise Invalid_argument if [dt <= 0] or is NaN. *)
+val record : t -> Engine.Sim.t -> dt:float -> recorder
+
+(** The recorded series, in registration order. *)
+val recorder_series : recorder -> (string * Trace.Series.t) list

@@ -1,0 +1,213 @@
+type setup = {
+  metrics : bool;
+  series_dt : float option;
+  jsonl : Tracer.sink option;
+  chrome : Tracer.sink option;
+  flight : int option;
+  flight_sink : Tracer.sink;
+}
+
+let setup ?(metrics = true) ?series_dt ?jsonl ?chrome ?flight ?flight_sink () =
+  let flight_sink =
+    match flight_sink with Some s -> s | None -> prerr_string
+  in
+  { metrics; series_dt; jsonl; chrome; flight; flight_sink }
+
+let disabled = setup ~metrics:false ()
+
+let is_enabled s =
+  s.metrics || s.jsonl <> None || s.chrome <> None || s.flight <> None
+
+type t = {
+  registry : Metrics.t option;
+  recorder : Metrics.recorder option;
+  tr : Tracer.t option;
+  flight_sink : Tracer.sink;
+  mutable flight_dumped : bool;
+}
+
+(* Buffer occupancies land in the single digits to low hundreds in every
+   scenario the paper studies; a coarse log-ish grid is plenty to read
+   the distribution's shape off a snapshot. *)
+let qlen_bounds = [| 0.; 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128. |]
+
+let copt registry name =
+  match registry with
+  | Some reg -> Some (Metrics.counter reg name)
+  | None -> None
+
+let bump = function Some c -> Metrics.incr c | None -> ()
+let emit tr ev = match tr with Some tr -> Tracer.emit tr ev | None -> ()
+
+let fault_label : Net.Link.fault_event -> string = function
+  | Net.Link.Fault_drop label -> label
+  | Net.Link.Fault_duplicate -> "duplicate"
+  | Net.Link.Fault_delay _ -> "delay"
+
+let wire_link ~sim ~registry ~tr link =
+  (match tr with Some tr -> Tracer.declare_link tr link | None -> ());
+  let pfx = "link." ^ Net.Link.name link in
+  (match registry with
+   | Some reg ->
+     Metrics.gauge_fn reg (pfx ^ ".qlen") (fun () ->
+         float_of_int (Net.Link.queue_length link));
+     Metrics.gauge_fn reg (pfx ^ ".busy_time") (fun () ->
+         Net.Link.busy_time link ~now:(Engine.Sim.now sim));
+     let meter = Trace.Util_meter.start link ~now:(Engine.Sim.now sim) in
+     Metrics.gauge_fn reg (pfx ^ ".utilization") (fun () ->
+         Trace.Util_meter.utilization meter ~now:(Engine.Sim.now sim))
+   | None -> ());
+  let enq = copt registry (pfx ^ ".enq") in
+  let drop = copt registry (pfx ^ ".drop") in
+  let dep = copt registry (pfx ^ ".dep") in
+  let dep_bytes = copt registry (pfx ^ ".dep_bytes") in
+  let faults = copt registry (pfx ^ ".faults") in
+  let qhist =
+    match registry with
+    | Some reg ->
+      Some (Metrics.histogram reg (pfx ^ ".qlen_hist") ~bounds:qlen_bounds)
+    | None -> None
+  in
+  Net.Link.on_enqueue link (fun _time pkt qlen ->
+      bump enq;
+      (match qhist with
+       | Some h -> Metrics.observe h (float_of_int qlen)
+       | None -> ());
+      emit tr (Event.Enqueue { link; pkt; qlen }));
+  Net.Link.on_drop link (fun _time pkt ->
+      bump drop;
+      emit tr (Event.Drop { link; pkt }));
+  Net.Link.on_depart link (fun _time pkt qlen ->
+      bump dep;
+      (match dep_bytes with
+       | Some c -> Metrics.add c pkt.Net.Packet.size
+       | None -> ());
+      emit tr (Event.Depart { link; pkt; qlen }));
+  Net.Link.on_fault link (fun _time fe pkt ->
+      bump faults;
+      emit tr (Event.Fault { link; label = fault_label fe; pkt }))
+
+let wire_conn ~registry ~tr (cid, conn) =
+  (match tr with Some tr -> Tracer.declare_conn tr cid | None -> ());
+  let s = Tcp.Connection.sender conn in
+  let r = Tcp.Connection.receiver conn in
+  let pfx = Printf.sprintf "conn.%d" cid in
+  (match registry with
+   | Some reg ->
+     Metrics.gauge_fn reg (pfx ^ ".cwnd") (fun () -> Tcp.Sender.cwnd s);
+     Metrics.gauge_fn reg (pfx ^ ".ssthresh") (fun () ->
+         Tcp.Sender.ssthresh s);
+     Metrics.gauge_fn reg (pfx ^ ".retransmits") (fun () ->
+         float_of_int (Tcp.Sender.retransmits s))
+   | None -> ());
+  let cuts = copt registry (pfx ^ ".cwnd_cuts") in
+  let touts = copt registry (pfx ^ ".timeouts") in
+  let frexmt = copt registry (pfx ^ ".fast_rexmt") in
+  let sends = copt registry (pfx ^ ".sends") in
+  let acks = copt registry (pfx ^ ".acks") in
+  let delacks = copt registry (pfx ^ ".delayed_acks") in
+  let dupacks = copt registry (pfx ^ ".dup_acks") in
+  (* cwnd is covered by a snapshot-time gauge; the hook is pure tracing. *)
+  (match tr with
+   | Some tracer ->
+     Tcp.Sender.on_cwnd s (fun _time ~cwnd ~ssthresh ->
+         Tracer.emit tracer (Event.Cwnd { conn = cid; cwnd; ssthresh }))
+   | None -> ());
+  Tcp.Sender.on_loss s (fun _time reason ->
+      bump cuts;
+      (match reason with
+       | Tcp.Sender.Timeout -> bump touts
+       | Tcp.Sender.Dup_ack -> bump frexmt);
+      emit tr
+        (Event.Loss
+           { conn = cid;
+             reason =
+               (match reason with
+                | Tcp.Sender.Timeout -> "timeout"
+                | Tcp.Sender.Dup_ack -> "dup_ack");
+           }));
+  Tcp.Sender.on_send s (fun _time pkt ->
+      bump sends;
+      emit tr (Event.Send { conn = cid; pkt }));
+  Tcp.Receiver.on_ack_sent r (fun _time ~ackno ~delayed ~dup ->
+      bump acks;
+      if delayed then bump delacks;
+      if dup then bump dupacks;
+      emit tr (Event.Ack_tx { conn = cid; ackno; delayed; dup }))
+
+let attach setup ~net ~conns =
+  let sim = Net.Network.sim net in
+  let tr =
+    if setup.jsonl <> None || setup.chrome <> None || setup.flight <> None
+    then
+      let flight =
+        Option.map (fun capacity -> Flight.create ~capacity) setup.flight
+      in
+      Some (Tracer.create ?jsonl:setup.jsonl ?chrome:setup.chrome ?flight sim)
+    else None
+  in
+  let registry = if setup.metrics then Some (Metrics.create ()) else None in
+  (match registry with
+   | Some reg ->
+     Metrics.gauge_fn reg "sim.events" (fun () ->
+         float_of_int (Engine.Sim.events_run sim));
+     Metrics.gauge_fn reg "sim.queue_depth" (fun () ->
+         float_of_int (Engine.Sim.queue_length sim))
+   | None -> ());
+  let injected = copt registry "net.injected" in
+  let delivered = copt registry "net.delivered" in
+  if registry <> None || tr <> None then begin
+    Net.Network.on_inject net (fun _time p ->
+        bump injected;
+        emit tr (Event.Inject p));
+    Net.Network.on_deliver net (fun _time p ->
+        bump delivered;
+        emit tr (Event.Deliver p));
+    List.iter (wire_link ~sim ~registry ~tr) (Net.Network.links net);
+    List.iter (wire_conn ~registry ~tr) conns
+  end;
+  (* The recorder snapshots whatever is registered at creation time, so it
+     must come after all of the wiring above. *)
+  let recorder =
+    match (registry, setup.series_dt) with
+    | Some reg, Some dt -> Some (Metrics.record reg sim ~dt)
+    | _ -> None
+  in
+  { registry; recorder; tr; flight_sink = setup.flight_sink;
+    flight_dumped = false }
+
+let flight t = Option.bind t.tr Tracer.flight
+
+let dump_flight t ~reason =
+  match flight t with
+  | Some f -> Flight.dump f ~reason t.flight_sink
+  | None -> ()
+
+let arm_report t report =
+  Validate.Report.on_violation report (fun v ->
+      if not t.flight_dumped then begin
+        t.flight_dumped <- true;
+        dump_flight t
+          ~reason:
+            (Printf.sprintf "validate: %s (%s) at t=%.6f: %s"
+               v.Validate.Report.checker v.Validate.Report.subject
+               v.Validate.Report.time v.Validate.Report.detail)
+      end)
+
+let finish t = match t.tr with Some tr -> Tracer.finish tr | None -> ()
+let metrics t = t.registry
+let tracer t = t.tr
+
+let final_metrics t =
+  match t.registry with Some reg -> Metrics.snapshot reg | None -> []
+
+let series t =
+  match t.recorder with
+  | Some r -> Metrics.recorder_series r
+  | None -> []
+
+let metrics_json t =
+  match t.registry with Some reg -> Metrics.to_json reg | None -> "{}"
+
+let events_traced t =
+  match t.tr with Some tr -> Tracer.events_emitted tr | None -> 0

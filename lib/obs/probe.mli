@@ -1,0 +1,71 @@
+(** Probe: wires the observability pillars ({!Metrics}, {!Tracer},
+    {!Flight}) into a live simulation through the model's existing
+    monitor hooks.
+
+    A probe is configured with a {!setup} value and attached once, after
+    the network and connections exist but before [Sim.run].  The probe
+    only installs a hook when at least one consumer (metrics registry or
+    trace sink) wants the corresponding events, so a disabled pillar
+    costs nothing — not even an empty-closure call, because the model's
+    hook lists stay empty and the zero-hook fast path is taken. *)
+
+type setup
+
+(** Build a configuration.
+
+    - [metrics] (default [true]): register counters / gauges /
+      histograms for the simulator, every link, and every connection.
+    - [series_dt]: additionally sample every metric each [series_dt]
+      simulated seconds into step series (see {!Metrics.record}).
+    - [jsonl] / [chrome]: trace sinks (see {!Tracer.create}).
+    - [flight]: keep a flight-recorder ring of the last [n] trace lines.
+    - [flight_sink] (default stderr): where {!dump_flight} writes. *)
+val setup :
+  ?metrics:bool ->
+  ?series_dt:float ->
+  ?jsonl:Tracer.sink ->
+  ?chrome:Tracer.sink ->
+  ?flight:int ->
+  ?flight_sink:Tracer.sink ->
+  unit ->
+  setup
+
+(** A setup with everything off; attaching it installs no hooks. *)
+val disabled : setup
+
+(** Does this setup observe anything at all? *)
+val is_enabled : setup -> bool
+
+type t
+
+(** Install hooks per the setup.  [conns] pairs each connection id with
+    its connection; ids are used in metric names and trace tracks. *)
+val attach :
+  setup -> net:Net.Network.t -> conns:(int * Tcp.Connection.t) list -> t
+
+(** Dump the flight recorder on the first violation recorded in the
+    report (subsequent violations do not re-dump). *)
+val arm_report : t -> Validate.Report.t -> unit
+
+(** Dump the flight ring to the configured sink, if a ring exists. *)
+val dump_flight : t -> reason:string -> unit
+
+(** Close trace outputs (Chrome file footer).  Idempotent. *)
+val finish : t -> unit
+
+val metrics : t -> Metrics.t option
+val tracer : t -> Tracer.t option
+val flight : t -> Flight.t option
+
+(** Final scalar snapshot of every metric ([[]] without a registry). *)
+val final_metrics : t -> (string * float) list
+
+(** Recorded per-metric step series ([[]] without [series_dt]). *)
+val series : t -> (string * Trace.Series.t) list
+
+(** Deterministic JSON object of the final snapshot (["{}"] without a
+    registry). *)
+val metrics_json : t -> string
+
+(** Events emitted to trace sinks (0 without a tracer). *)
+val events_traced : t -> int

@@ -1,0 +1,36 @@
+(** Structured event tracer: fans each {!Event.t} out to the installed
+    sinks — a JSONL stream, a Chrome [trace_event] file (loadable in
+    Perfetto / [chrome://tracing]), and/or a {!Flight} ring.
+
+    A sink is just [string -> unit]; callers hand in
+    [output_string oc] or [Buffer.add_string buf].  With no sinks
+    installed nothing is formatted; installers (see {!Probe}) only hook
+    the simulation at all when at least one sink exists, so the
+    zero-sink run pays nothing. *)
+
+type sink = string -> unit
+
+type t
+
+val create :
+  ?jsonl:sink -> ?chrome:sink -> ?flight:Flight.t -> Engine.Sim.t -> t
+
+(** Declare one Perfetto track per link / per connection (thread-name
+    metadata records).  Call before the corresponding events are emitted;
+    no-ops without a chrome sink. *)
+val declare_link : t -> Net.Link.t -> unit
+
+val declare_conn : t -> int -> unit
+
+(** Stamp the event with the current simulated time and write it to every
+    sink. *)
+val emit : t -> Event.t -> unit
+
+(** Events emitted so far (across all sinks). *)
+val events_emitted : t -> int
+
+val flight : t -> Flight.t option
+
+(** Write the Chrome file's closing bracket.  Idempotent; JSONL needs no
+    finalization. *)
+val finish : t -> unit

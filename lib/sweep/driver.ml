@@ -10,8 +10,13 @@ let point ?id ?(params = []) scenario =
   in
   { id; params; scenario }
 
+(* Sweep points always carry a metrics registry (counters and gauges are
+   cheap); the snapshot rides the summary across the worker pipe as plain
+   data.  Tracing stays off — sinks are closures and could not cross the
+   pipe anyway. *)
 let run_point p =
-  Summary.of_result ~id:p.id ~params:p.params (Core.Runner.run p.scenario)
+  Summary.of_result ~id:p.id ~params:p.params
+    (Core.Runner.run ~obs:(Obs.Probe.setup ()) p.scenario)
 
 let run ?jobs points =
   let jobs = match jobs with Some j -> j | None -> Sweep_pool.default_jobs () in

@@ -14,6 +14,7 @@ type t = {
   q1_max : float;
   q2_max : float;
   effective_pipe : float option;
+  metrics : (string * float) list;
 }
 
 let queue_max (r : Core.Runner.result) qt =
@@ -42,6 +43,10 @@ let of_result ~id ?(params = []) (r : Core.Runner.result) =
     q1_max = queue_max r r.q1;
     q2_max = queue_max r r.q2;
     effective_pipe = Core.Runner.effective_pipe r;
+    metrics =
+      (match r.obs with
+       | Some probe -> Obs.Probe.final_metrics probe
+       | None -> []);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -82,12 +87,19 @@ let to_json s =
   let delivered =
     String.concat "," (List.map string_of_int s.delivered)
   in
+  let metrics =
+    String.concat ","
+      (List.map
+         (fun (k, v) -> Printf.sprintf "\"%s\":%s" (escape k) (float_json v))
+         s.metrics)
+  in
   Printf.sprintf
     "{\"id\":\"%s\",\"params\":{%s},\"util_fwd\":%s,\"util_bwd\":%s,\
      \"drops_window\":%d,\"drops_total\":%d,\"delivered\":[%s],\
      \"phase\":\"%s\",\"phase_corr\":%s,\"epochs\":%d,\
      \"mean_drops_per_epoch\":%s,\"single_loser\":%s,\
-     \"q1_max\":%s,\"q2_max\":%s,\"effective_pipe\":%s}"
+     \"q1_max\":%s,\"q2_max\":%s,\"effective_pipe\":%s,\
+     \"metrics\":{%s}}"
     (escape s.id) params (float_json s.util_fwd) (float_json s.util_bwd)
     s.drops_window s.drops_total delivered (escape s.phase)
     (float_json s.phase_corr) s.epoch_count
@@ -95,6 +107,7 @@ let to_json s =
     (opt_float_json s.single_loser)
     (float_json s.q1_max) (float_json s.q2_max)
     (opt_float_json s.effective_pipe)
+    metrics
 
 let list_to_json summaries =
   "[" ^ String.concat ",\n " (List.map to_json summaries) ^ "]\n"

@@ -23,6 +23,9 @@ type t = {
   q2_max : float;
   effective_pipe : float option;
       (** mean ACK queueing delay in data-packet transmission times *)
+  metrics : (string * float) list;
+      (** final {!Obs.Metrics} snapshot of the point's run, in
+          registration order ([[]] when the run carried no registry) *)
 }
 
 val of_result : id:string -> ?params:(string * float) list ->

@@ -12,6 +12,8 @@ type t = {
   mutable acks_sent : int;
   mutable dup_acks_sent : int;
   mutable last_ack : int;  (* last cumulative number ACKed, -1 if none *)
+  mutable ack_hooks :
+    (float -> ackno:int -> delayed:bool -> dup:bool -> unit) list;
 }
 
 let nop () = ()
@@ -32,6 +34,7 @@ let make net config =
     acks_sent = 0;
     dup_acks_sent = 0;
     last_ack = -1;
+    ack_hooks = [];
   }
 
 let rcv_nxt t = t.rcv_nxt
@@ -41,14 +44,18 @@ let duplicates t = t.duplicates
 let acks_sent t = t.acks_sent
 let dup_acks_sent t = t.dup_acks_sent
 let buffered t = Hashtbl.length t.above_hole
+let on_ack_sent t f = t.ack_hooks <- f :: t.ack_hooks
 
 let cancel_delack t =
   Engine.Sim.Timer.cancel t.delack_timer;
   t.delack_pending <- false
 
-let send_ack t =
+(* [delayed] marks ACKs released by the delayed-ACK timer, as opposed to
+   ACKs triggered directly by an arriving packet. *)
+let send_ack t ~delayed =
+  let dup = t.rcv_nxt = t.last_ack in
   t.acks_sent <- t.acks_sent + 1;
-  if t.rcv_nxt = t.last_ack then t.dup_acks_sent <- t.dup_acks_sent + 1;
+  if dup then t.dup_acks_sent <- t.dup_acks_sent + 1;
   t.last_ack <- t.rcv_nxt;
   (* ACKs travel dst -> src: the receiver's host is the data destination. *)
   let p =
@@ -57,23 +64,28 @@ let send_ack t =
       ~src:t.config.Config.dst_host ~dst:t.config.Config.src_host
       ~retransmit:false
   in
-  Net.Network.send_from_host t.net ~host:t.config.Config.dst_host p
+  Net.Network.send_from_host t.net ~host:t.config.Config.dst_host p;
+  match t.ack_hooks with
+  | [] -> ()
+  | hooks ->
+    let now = Engine.Sim.now t.sim in
+    List.iter (fun f -> f now ~ackno:t.rcv_nxt ~delayed ~dup) hooks
 
 let create net config =
   let t = make net config in
   Engine.Sim.Timer.set_action t.delack_timer (fun () ->
       t.delack_pending <- false;
-      send_ack t);
+      send_ack t ~delayed:true);
   t
 
 let ack_now t =
   cancel_delack t;
-  send_ack t
+  send_ack t ~delayed:false
 
 (* Delayed-ACK policy for an in-order arrival: the first packet only marks
    an ACK as owed; the second packet (or the timer) releases it. *)
 let ack_in_order t =
-  if not t.config.Config.delayed_ack then send_ack t
+  if not t.config.Config.delayed_ack then send_ack t ~delayed:false
   else if t.delack_pending then ack_now t
   else begin
     t.delack_pending <- true;

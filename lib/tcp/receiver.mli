@@ -31,3 +31,10 @@ val dup_acks_sent : t -> int
 
 (** Packets buffered above a hole right now. *)
 val buffered : t -> int
+
+(** [on_ack_sent t f] — [f time ~ackno ~delayed ~dup] fires after each ACK
+    is handed to the network.  [delayed] marks ACKs released by the
+    delayed-ACK timer; [dup] marks ACKs that did not advance the
+    cumulative sequence number. *)
+val on_ack_sent :
+  t -> (float -> ackno:int -> delayed:bool -> dup:bool -> unit) -> unit

@@ -11,9 +11,11 @@ val start : Net.Link.t -> now:float -> t
 
 val link : t -> Net.Link.t
 
-(** Busy fraction between [start] and [now].
-    @raise Invalid_argument if [now] is not after the start time. *)
+(** Busy fraction between [start] and [now]; 0 over a zero-width window
+    ([now] equal to the start time).
+    @raise Invalid_argument if [now] is before the start time. *)
 val utilization : t -> now:float -> float
 
-(** Busy seconds between [start] and [now]. *)
+(** Busy seconds between [start] and [now]; 0 over a zero-width window.
+    @raise Invalid_argument if [now] is before the start time. *)
 val busy_time : t -> now:float -> float

@@ -9,18 +9,24 @@ type t = {
   max_kept : int;
   mutable kept : violation list;  (* newest first, capped at max_kept *)
   mutable total : int;
+  mutable hooks : (violation -> unit) list;
 }
 
 let default_max_kept = 50
 
 let create ?(max_kept = default_max_kept) () =
   if max_kept < 1 then invalid_arg "Report.create: max_kept must be >= 1";
-  { max_kept; kept = []; total = 0 }
+  { max_kept; kept = []; total = 0; hooks = [] }
+
+let on_violation t f = t.hooks <- f :: t.hooks
 
 let add t ~time ~checker ~subject ~detail =
   t.total <- t.total + 1;
-  if t.total <= t.max_kept then
-    t.kept <- { time; checker; subject; detail } :: t.kept
+  let v = { time; checker; subject; detail } in
+  if t.total <= t.max_kept then t.kept <- v :: t.kept;
+  match t.hooks with
+  | [] -> ()
+  | hooks -> List.iter (fun f -> f v) hooks
 
 let total t = t.total
 let is_clean t = t.total = 0

@@ -22,6 +22,11 @@ val create : ?max_kept:int -> unit -> t
 val add :
   t -> time:float -> checker:string -> subject:string -> detail:string -> unit
 
+(** [on_violation t f] — [f] fires synchronously on every recorded
+    violation, kept or not (observers, e.g. a flight recorder, may want
+    to react to the first one even when the report is saturated). *)
+val on_violation : t -> (violation -> unit) -> unit
+
 (** Exact count of violations recorded, kept or not. *)
 val total : t -> int
 

@@ -1,0 +1,402 @@
+(* lib/obs: metrics registry, structured tracer, flight recorder, and the
+   probe that wires them into a run.
+
+   The two integration statements that matter most:
+     - the JSONL trace of a run is valid (parseable, monotone timestamps)
+       and its event counts agree exactly with the metrics counters that
+       were incremented by the same hooks;
+     - attaching the full probe does not change simulation results
+       (byte-identical traces), checked over random scenarios. *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let count_occurrences haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i acc =
+    if i + n > h then acc
+    else if String.sub haystack i n = needle then go (i + n) (acc + 1)
+    else go (i + 1) acc
+  in
+  if n = 0 then 0 else go 0 0
+
+(* ---------------- metrics ---------------- *)
+
+let test_metrics_basic () =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter reg "events" in
+  let g = Obs.Metrics.gauge reg "depth" in
+  Obs.Metrics.gauge_fn reg "derived" (fun () -> 42.5);
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 3;
+  Obs.Metrics.set g 7.25;
+  Alcotest.(check int) "counter value" 5 (Obs.Metrics.counter_value c);
+  Alcotest.(check (float 0.)) "gauge value" 7.25 (Obs.Metrics.gauge_value g);
+  Alcotest.(check int) "size" 3 (Obs.Metrics.size reg);
+  Alcotest.(check (list (pair string (float 0.))))
+    "snapshot in registration order"
+    [ ("events", 5.); ("depth", 7.25); ("derived", 42.5) ]
+    (Obs.Metrics.snapshot reg);
+  Alcotest.(check (option (float 0.)))
+    "find" (Some 7.25)
+    (Obs.Metrics.find reg "depth");
+  Alcotest.(check (option (float 0.))) "find missing" None
+    (Obs.Metrics.find reg "nope")
+
+let test_metrics_duplicate_name () =
+  let reg = Obs.Metrics.create () in
+  ignore (Obs.Metrics.counter reg "x" : Obs.Metrics.counter);
+  Alcotest.check_raises "duplicate registration rejected"
+    (Invalid_argument "Metrics: duplicate metric \"x\"") (fun () ->
+      ignore (Obs.Metrics.gauge reg "x" : Obs.Metrics.gauge))
+
+let test_metrics_histogram () =
+  let reg = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram reg "q" ~bounds:[| 1.; 4.; 16. |] in
+  List.iter (Obs.Metrics.observe h) [ 0.; 1.; 2.; 5.; 100. ];
+  Alcotest.(check (list (pair string (float 0.))))
+    "cumulative buckets"
+    [
+      ("q.le_1", 2.); ("q.le_4", 3.); ("q.le_16", 4.); ("q.le_inf", 5.);
+      ("q.count", 5.);
+    ]
+    (Obs.Metrics.snapshot reg);
+  Alcotest.check_raises "empty bounds rejected"
+    (Invalid_argument "Metrics.histogram: empty bounds") (fun () ->
+      ignore (Obs.Metrics.histogram reg "e" ~bounds:[||] : Obs.Metrics.histogram));
+  Alcotest.check_raises "non-increasing bounds rejected"
+    (Invalid_argument "Metrics.histogram: bounds must be strictly increasing")
+    (fun () ->
+      ignore
+        (Obs.Metrics.histogram reg "d" ~bounds:[| 1.; 1. |]
+          : Obs.Metrics.histogram))
+
+let test_metrics_json () =
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter reg "n" in
+  Obs.Metrics.add c 7;
+  Obs.Metrics.gauge_fn reg "frac" (fun () -> 0.125);
+  let json = Obs.Metrics.to_json reg in
+  (match Obs.Json.parse json with
+   | Error msg -> Alcotest.failf "metrics JSON does not parse: %s" msg
+   | Ok v ->
+     Alcotest.(check (option (float 0.)))
+       "integral field" (Some 7.)
+       (Option.bind (Obs.Json.member "n" v) Obs.Json.to_float);
+     Alcotest.(check (option (float 0.)))
+       "fractional field" (Some 0.125)
+       (Option.bind (Obs.Json.member "frac" v) Obs.Json.to_float));
+  Alcotest.(check bool) "integral printed without fraction" true
+    (contains json "\"n\":7,")
+
+let test_metrics_recorder () =
+  let sim = Engine.Sim.create () in
+  let reg = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter reg "ticks" in
+  Alcotest.check_raises "dt must be positive"
+    (Invalid_argument "Metrics.record: dt must be positive") (fun () ->
+      ignore (Obs.Metrics.record reg sim ~dt:0. : Obs.Metrics.recorder));
+  let rec_ = Obs.Metrics.record reg sim ~dt:1. in
+  (* bump the counter at t = 0.5 and 1.5: samples at 0,1,2 see 0,1,2 *)
+  ignore (Engine.Sim.at sim ~time:0.5 (fun () -> Obs.Metrics.incr c)
+      : Engine.Sim.handle);
+  ignore (Engine.Sim.at sim ~time:1.5 (fun () -> Obs.Metrics.incr c)
+      : Engine.Sim.handle);
+  Engine.Sim.run sim ~until:2.0;
+  match Obs.Metrics.recorder_series rec_ with
+  | [ ("ticks", s) ] ->
+    Alcotest.(check (list (pair (float 0.) (float 0.))))
+      "sampled at 0,1,2"
+      [ (0., 0.); (1., 1.); (2., 2.) ]
+      (Trace.Series.to_list s)
+  | other ->
+    Alcotest.failf "expected one recorded series, got %d" (List.length other)
+
+(* ---------------- flight recorder ---------------- *)
+
+let test_flight_ring () =
+  Alcotest.check_raises "capacity must be >= 1"
+    (Invalid_argument "Flight.create: capacity must be >= 1") (fun () ->
+      ignore (Obs.Flight.create ~capacity:0 : Obs.Flight.t));
+  let f = Obs.Flight.create ~capacity:3 in
+  Alcotest.(check int) "empty length" 0 (Obs.Flight.length f);
+  List.iter (Obs.Flight.record f) [ "a"; "b"; "c"; "d"; "e" ];
+  Alcotest.(check int) "capped length" 3 (Obs.Flight.length f);
+  Alcotest.(check int) "total counts overwritten" 5 (Obs.Flight.total f);
+  Alcotest.(check (list string))
+    "last three, oldest first" [ "c"; "d"; "e" ]
+    (Obs.Flight.entries f);
+  let buf = Buffer.create 256 in
+  Obs.Flight.dump f ~reason:"test" (Buffer.add_string buf);
+  let out = Buffer.contents buf in
+  Alcotest.(check bool) "banner" true
+    (contains out "=== flight recorder: test (last 3 of 5 events) ===");
+  Alcotest.(check bool) "entries present" true (contains out "c\nd\ne\n");
+  Alcotest.(check bool) "footer" true
+    (contains out "=== end flight recorder ===")
+
+(* ---------------- json ---------------- *)
+
+let test_json_parse () =
+  (match Obs.Json.parse {|{"a":[1,2.5,-3e2],"b":"x\"\n","c":null,"d":true}|}
+   with
+   | Error msg -> Alcotest.failf "parse failed: %s" msg
+   | Ok v ->
+     Alcotest.(check (option string))
+       "escaped string" (Some "x\"\n")
+       (Option.bind (Obs.Json.member "b" v) Obs.Json.to_string);
+     (match Obs.Json.member "a" v with
+      | Some (Obs.Json.List [ _; Obs.Json.Num x; Obs.Json.Num y ]) ->
+        Alcotest.(check (float 0.)) "float elt" 2.5 x;
+        Alcotest.(check (float 0.)) "exponent elt" (-300.) y
+      | _ -> Alcotest.fail "array member missing"));
+  (match Obs.Json.parse "{} garbage" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  match Obs.Json.parse "{\"a\":}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed object accepted"
+
+let test_validate_jsonl () =
+  (match Obs.Json.validate_jsonl "{\"t\":1}\n{\"t\":1}\n{\"t\":2.5}\n" with
+   | Ok n -> Alcotest.(check int) "line count" 3 n
+   | Error msg -> Alcotest.failf "valid stream rejected: %s" msg);
+  (match Obs.Json.validate_jsonl "{\"t\":1}\n{\"t\":0.5}\n" with
+   | Error msg ->
+     Alcotest.(check bool) "names the offending line" true
+       (contains msg "line 2")
+   | Ok _ -> Alcotest.fail "non-monotone stream accepted");
+  (match Obs.Json.validate_jsonl "{\"t\":1}\nnot json\n" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "garbage line accepted");
+  match Obs.Json.validate_jsonl "[1,2]\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-object line accepted"
+
+(* ---------------- probe integration ---------------- *)
+
+let two_way_scenario ?(validate = false) () =
+  Core.Scenario.make ~name:"obs-test" ~tau:0.01 ~buffer:(Some 20)
+    ~conns:
+      [
+        Core.Scenario.conn Core.Scenario.Forward;
+        Core.Scenario.conn ~start_time:1. Core.Scenario.Reverse;
+      ]
+    ~duration:20. ~warmup:1. ~validate ()
+
+let test_runner_without_obs () =
+  let r = Core.Runner.run (two_way_scenario ()) in
+  Alcotest.(check bool) "no probe by default" true (r.Core.Runner.obs = None)
+
+let test_trace_matches_counters () =
+  let jsonl = Buffer.create (1 lsl 16) in
+  let chrome = Buffer.create (1 lsl 16) in
+  let setup =
+    Obs.Probe.setup ~jsonl:(Buffer.add_string jsonl)
+      ~chrome:(Buffer.add_string chrome) ()
+  in
+  let r = Core.Runner.run ~obs:setup (two_way_scenario ~validate:true ()) in
+  let probe =
+    match r.Core.Runner.obs with
+    | Some p -> p
+    | None -> Alcotest.fail "probe missing from result"
+  in
+  (match Core.Runner.validation_report r with
+   | Some report when not (Validate.Report.is_clean report) ->
+     Alcotest.failf "traced run not clean: %s" (Validate.Report.summary report)
+   | _ -> ());
+  let text = Buffer.contents jsonl in
+  (* Every line parses; timestamps never go backwards; the line count is
+     exactly the number of events the tracer claims to have emitted. *)
+  (match Obs.Json.validate_jsonl text with
+   | Ok lines ->
+     Alcotest.(check int) "JSONL line count = events emitted"
+       (Obs.Probe.events_traced probe) lines
+   | Error msg -> Alcotest.failf "JSONL trace invalid: %s" msg);
+  (* The counters and the trace are fed by the same hooks: counts agree. *)
+  let metric name =
+    match Obs.Probe.final_metrics probe |> List.assoc_opt name with
+    | Some v -> int_of_float v
+    | None -> Alcotest.failf "metric %s missing" name
+  in
+  let ev name = count_occurrences text (Printf.sprintf "\"ev\":\"%s\"" name) in
+  Alcotest.(check int) "inject events = net.injected counter"
+    (metric "net.injected") (ev "inject");
+  Alcotest.(check int) "deliver events = net.delivered counter"
+    (metric "net.delivered") (ev "deliver");
+  let per_link field =
+    List.fold_left
+      (fun acc link -> acc + metric ("link." ^ Net.Link.name link ^ field))
+      0
+      (Net.Network.links r.Core.Runner.dumbbell.Net.Topology.net)
+  in
+  Alcotest.(check int) "enqueue events = sum of link enq counters"
+    (per_link ".enq") (ev "enqueue");
+  Alcotest.(check int) "drop events = sum of link drop counters"
+    (per_link ".drop") (ev "drop");
+  Alcotest.(check int) "depart events = sum of link dep counters"
+    (per_link ".dep") (ev "depart");
+  Alcotest.(check int) "ack_tx events = sum of conn ack counters"
+    (metric "conn.1.acks" + metric "conn.2.acks")
+    (ev "ack_tx");
+  Alcotest.(check bool) "dispatched events metric is live" true
+    (metric "sim.events" > 0);
+  (* The Chrome rendering of the same run is one valid JSON value. *)
+  match Obs.Json.parse (Buffer.contents chrome) with
+  | Error msg -> Alcotest.failf "chrome trace invalid: %s" msg
+  | Ok v ->
+    (match Obs.Json.member "traceEvents" v with
+     | Some (Obs.Json.List records) ->
+       Alcotest.(check bool) "chrome has records" true
+         (List.length records > Obs.Probe.events_traced probe / 2)
+     | _ -> Alcotest.fail "chrome traceEvents missing")
+
+let test_flight_dump_on_violation () =
+  let sim = Engine.Sim.create () in
+  let net = Net.Network.create sim in
+  let h1 = Net.Network.add_host net ~name:"h1" ~proc_delay:1e-4 in
+  let h2 = Net.Network.add_host net ~name:"h2" ~proc_delay:1e-4 in
+  let fwd, bwd =
+    Net.Network.add_duplex net ~src:h1 ~dst:h2 ~bandwidth:1e6 ~prop_delay:0.01
+      ~buffer:(Some 10)
+  in
+  Net.Network.set_route net ~node:h1 ~dst:h2 ~link:fwd;
+  Net.Network.set_route net ~node:h2 ~dst:h1 ~link:bwd;
+  Net.Network.register_endpoint net ~host:h2 ~conn:1 (fun _ -> ());
+  let report = Validate.Report.create () in
+  ignore (Validate.Conservation.attach report net : Validate.Conservation.t);
+  let dump = Buffer.create 1024 in
+  let setup =
+    Obs.Probe.setup ~metrics:false ~flight:8
+      ~flight_sink:(Buffer.add_string dump) ()
+  in
+  let probe = Obs.Probe.attach setup ~net ~conns:[] in
+  Obs.Probe.arm_report probe report;
+  (* A legitimate packet first, so the ring has history to dump. *)
+  let legit =
+    Net.Network.make_packet net ~conn:1 ~kind:Net.Packet.Data ~seq:0 ~size:500
+      ~src:h1 ~dst:h2 ~retransmit:false
+  in
+  Net.Network.send_from_host net ~host:h1 legit;
+  (* Then a packet that reaches the endpoint without ever being injected:
+     conservation must flag the delivery, which must dump the ring. *)
+  let rogue =
+    Net.Network.make_packet net ~conn:1 ~kind:Net.Packet.Data ~seq:99 ~size:500
+      ~src:h1 ~dst:h2 ~retransmit:false
+  in
+  (match Net.Link.send fwd rogue with
+   | `Ok -> ()
+   | `Dropped -> Alcotest.fail "rogue packet not accepted");
+  Engine.Sim.run_to_completion sim;
+  Alcotest.(check bool) "a violation was recorded" true
+    (not (Validate.Report.is_clean report));
+  let out = Buffer.contents dump in
+  Alcotest.(check bool) "flight dump banner names the checker" true
+    (contains out "=== flight recorder: validate: conservation");
+  Alcotest.(check bool) "dump carries trace events" true
+    (contains out "\"ev\":\"enqueue\"");
+  Alcotest.(check int) "dumped exactly once" 1
+    (count_occurrences out "=== flight recorder:")
+
+(* ---------------- observation changes nothing ---------------- *)
+
+open QCheck
+
+type spec = {
+  tau : float;
+  buffer : int option;
+  n_fwd : int;
+  n_rev : int;
+  maxwnd : int;
+  delayed_ack : bool;
+}
+
+let spec_gen =
+  let open Gen in
+  let* tau = oneofl [ 0.01; 0.1; 1.0 ] in
+  let* buffer = oneof [ return None; map (fun b -> Some b) (int_range 3 30) ] in
+  let* n_fwd = int_range 1 2 in
+  let* n_rev = int_range 0 2 in
+  let* maxwnd = int_range 8 32 in
+  let* delayed_ack = bool in
+  return { tau; buffer; n_fwd; n_rev; maxwnd; delayed_ack }
+
+let spec_print s =
+  Printf.sprintf "{tau=%g; buffer=%s; fwd=%d; rev=%d; maxwnd=%d; delack=%b}"
+    s.tau
+    (match s.buffer with None -> "inf" | Some b -> string_of_int b)
+    s.n_fwd s.n_rev s.maxwnd s.delayed_ack
+
+let scenario_of_spec { tau; buffer; n_fwd; n_rev; maxwnd; delayed_ack } =
+  let open Core.Scenario in
+  let conns dir n = List.init n (fun _ -> conn ~maxwnd ~delayed_ack dir) in
+  make ~name:"obs-prop" ~tau ~buffer
+    ~conns:(stagger ~step:1.5 (conns Forward n_fwd @ conns Reverse n_rev))
+    ~duration:40. ~warmup:10. ()
+
+let series_bytes s =
+  let buf = Buffer.create 4096 in
+  Trace.Series.iter s ~f:(fun ~time ~value ->
+      Buffer.add_string buf (Printf.sprintf "%.17g:%.17g;" time value));
+  Buffer.contents buf
+
+let result_fingerprint (r : Core.Runner.result) =
+  String.concat "|"
+    (Printf.sprintf "%.17g:%.17g" r.util_fwd r.util_bwd
+     :: (Array.to_list r.delivered |> List.map string_of_int)
+    @ [
+        string_of_int (Trace.Drop_log.total r.drops);
+        series_bytes (Trace.Queue_trace.series r.q1);
+        series_bytes (Trace.Queue_trace.series r.q2);
+      ]
+    @ (Array.to_list r.cwnds
+      |> List.map (fun t -> series_bytes (Trace.Cwnd_trace.cwnd t))))
+
+let prop_observation_transparent =
+  Test.make ~name:"full probe never changes simulation results" ~count:25
+    (QCheck.make ~print:spec_print spec_gen)
+    (fun s ->
+      let scenario = scenario_of_spec s in
+      let bare = Core.Runner.run scenario in
+      let sink (_ : string) = () in
+      let observed =
+        Core.Runner.run
+          ~obs:
+            (Obs.Probe.setup ~series_dt:1.0 ~jsonl:sink ~chrome:sink
+               ~flight:128 ())
+          scenario
+      in
+      let a = result_fingerprint bare and b = result_fingerprint observed in
+      if a <> b then
+        Test.fail_reportf "traced run diverged from bare run on %s"
+          (spec_print s);
+      true)
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "metrics: counters, gauges, snapshot order" `Quick
+        test_metrics_basic;
+      Alcotest.test_case "metrics: duplicate names rejected" `Quick
+        test_metrics_duplicate_name;
+      Alcotest.test_case "metrics: histogram buckets" `Quick
+        test_metrics_histogram;
+      Alcotest.test_case "metrics: deterministic JSON" `Quick test_metrics_json;
+      Alcotest.test_case "metrics: periodic recorder" `Quick
+        test_metrics_recorder;
+      Alcotest.test_case "flight: bounded ring and dump format" `Quick
+        test_flight_ring;
+      Alcotest.test_case "json: parser round-trips traces" `Quick
+        test_json_parse;
+      Alcotest.test_case "json: JSONL validation" `Quick test_validate_jsonl;
+      Alcotest.test_case "runner: no probe unless requested" `Quick
+        test_runner_without_obs;
+      Alcotest.test_case "probe: trace counts match metrics counters" `Quick
+        test_trace_matches_counters;
+      Alcotest.test_case "probe: flight recorder dumps on violation" `Quick
+        test_flight_dump_on_violation;
+      QCheck_alcotest.to_alcotest prop_observation_transparent;
+    ] )

@@ -63,6 +63,7 @@ let test_json_special_floats () =
       q1_max = 0.;
       q2_max = 0.;
       effective_pipe = None;
+      metrics = [ ("net.injected", 3.) ];
     }
   in
   let json = Sweep.Summary.to_json s in

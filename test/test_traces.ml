@@ -58,6 +58,21 @@ let test_util_meter_window () =
   Alcotest.(check (float 1e-9)) "no pre-start busy time" 0.
     (Trace.Util_meter.busy_time meter ~now:2.)
 
+let test_util_meter_zero_width () =
+  (* A zero-width window is a legal (empty) measurement, not an error:
+     recorders sample metrics at the instant a meter is started. *)
+  let sim, link, packet = rig ~buffer:None () in
+  ignore (Link.send link (packet 0) : [ `Ok | `Dropped ]);
+  Sim.run sim ~until:1.;
+  let meter = Trace.Util_meter.start link ~now:1. in
+  Alcotest.(check (float 0.)) "zero-width busy time" 0.
+    (Trace.Util_meter.busy_time meter ~now:1.);
+  Alcotest.(check (float 0.)) "zero-width utilization" 0.
+    (Trace.Util_meter.utilization meter ~now:1.);
+  Alcotest.check_raises "negative window still rejected"
+    (Invalid_argument "Util_meter: negative measurement window") (fun () ->
+      ignore (Trace.Util_meter.busy_time meter ~now:0.5 : float))
+
 let test_drop_log () =
   let sim, link, packet = rig ~buffer:(Some 1) () in
   let log = Trace.Drop_log.create () in
@@ -104,6 +119,62 @@ let test_dep_log () =
    | _ -> Alcotest.fail "expected two departures");
   Alcotest.(check int) "total" 2 (Trace.Dep_log.total dep)
 
+(* Pin the half-open [t0, t1) window semantics of every log: a record
+   exactly at t0 is included, a record exactly at t1 is excluded. *)
+
+let test_dep_log_window_boundaries () =
+  let sim, link, packet = rig ~buffer:None () in
+  let dep = Trace.Dep_log.attach link in
+  ignore (Link.send link (packet 0) : [ `Ok | `Dropped ]);
+  ignore (Link.send link (packet 1) : [ `Ok | `Dropped ]);
+  Sim.run sim ~until:1.;
+  (* departures at exactly 0.08 and 0.16 (two 80 ms serializations) *)
+  let seqs ~t0 ~t1 =
+    List.map
+      (fun r -> r.Trace.Dep_log.seq)
+      (Trace.Dep_log.in_window dep ~t0 ~t1)
+  in
+  Alcotest.(check (list int)) "record at t0 included" [ 0; 1 ]
+    (seqs ~t0:0.08 ~t1:1.);
+  Alcotest.(check (list int)) "record at t1 excluded" [ 0 ]
+    (seqs ~t0:0.08 ~t1:0.16);
+  Alcotest.(check (list int)) "zero-width window empty" []
+    (seqs ~t0:0.08 ~t1:0.08)
+
+let test_drop_log_window_boundaries () =
+  let sim, link, packet = rig ~buffer:(Some 1) () in
+  let log = Trace.Drop_log.create () in
+  Trace.Drop_log.watch log link;
+  ignore (Link.send link (packet 0) : [ `Ok | `Dropped ]);
+  ignore (Link.send link (packet 1) : [ `Ok | `Dropped ]);
+  (* drop recorded at exactly t=0 *)
+  Sim.run sim ~until:1.;
+  Alcotest.(check int) "record at t0 included" 1
+    (List.length (Trace.Drop_log.in_window log ~t0:0. ~t1:0.5));
+  Alcotest.(check int) "record at t1 excluded" 0
+    (List.length (Trace.Drop_log.in_window log ~t0:(-1.) ~t1:0.));
+  Alcotest.(check int) "zero-width window empty" 0
+    (List.length (Trace.Drop_log.in_window log ~t0:0. ~t1:0.))
+
+let test_sojourn_window_boundaries () =
+  let sim, link, packet = rig ~buffer:None () in
+  let soj = Trace.Sojourn_trace.attach link in
+  ignore (Link.send link (packet 0) : [ `Ok | `Dropped ]);
+  ignore (Link.send link (packet 1) : [ `Ok | `Dropped ]);
+  Sim.run sim ~until:1.;
+  (* departures (= record times) at exactly 0.08 and 0.16 *)
+  let times ~t0 ~t1 =
+    List.map
+      (fun r -> r.Trace.Sojourn_trace.time)
+      (Trace.Sojourn_trace.in_window soj ~t0 ~t1)
+  in
+  Alcotest.(check (list (float 1e-9))) "record at t0 included" [ 0.08; 0.16 ]
+    (times ~t0:0.08 ~t1:1.);
+  Alcotest.(check (list (float 1e-9))) "record at t1 excluded" [ 0.08 ]
+    (times ~t0:0.08 ~t1:0.16);
+  Alcotest.(check (list (float 1e-9))) "zero-width window empty" []
+    (times ~t0:0.16 ~t1:0.16)
+
 let test_cwnd_trace () =
   let sim = Sim.create () in
   let d = Topology.dumbbell sim (Topology.params ~tau:0.01 ~buffer:(Some 20) ()) in
@@ -129,8 +200,16 @@ let suite =
       Alcotest.test_case "queue trace" `Quick test_queue_trace;
       Alcotest.test_case "util meter" `Quick test_util_meter;
       Alcotest.test_case "util meter window" `Quick test_util_meter_window;
+      Alcotest.test_case "util meter zero-width window" `Quick
+        test_util_meter_zero_width;
       Alcotest.test_case "drop log" `Quick test_drop_log;
       Alcotest.test_case "drop log window" `Quick test_drop_log_window;
       Alcotest.test_case "dep log" `Quick test_dep_log;
+      Alcotest.test_case "dep log window boundaries" `Quick
+        test_dep_log_window_boundaries;
+      Alcotest.test_case "drop log window boundaries" `Quick
+        test_drop_log_window_boundaries;
+      Alcotest.test_case "sojourn window boundaries" `Quick
+        test_sojourn_window_boundaries;
       Alcotest.test_case "cwnd trace" `Quick test_cwnd_trace;
     ] )
