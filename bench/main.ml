@@ -10,6 +10,7 @@
      dune exec bench/main.exe -- engine --json  ... and write BENCH_engine.json
      dune exec bench/main.exe -- engine --check BENCH_engine.json
                                                 regression guard (25% band)
+     dune exec bench/main.exe -- cc             per-CC-variant wall clock
 
    Sections:
      1. paper reproduction — one paper-vs-measured table per figure/table
@@ -151,6 +152,22 @@ let bench_cong =
            if i mod 97 = 0 then Tcp.Cong.on_timeout c else Tcp.Cong.on_ack c
          done))
 
+let bench_cc =
+  (* The same event mix as the Cong micro above, but through the packed
+     Cc interface — the difference is the cost of the closure-record
+     dispatch the pluggable-controller refactor added. *)
+  Test.make ~name:"cc dispatch: 1k acks (newreno)"
+    (Staged.stage (fun () ->
+         Tcp.Cc_zoo.ensure_registered ();
+         let c = Tcp.Cc.make (Tcp.Cc.spec "newreno") ~maxwnd:1000 in
+         let ackno = ref 0 in
+         for i = 1 to 1000 do
+           incr ackno;
+           if i mod 97 = 0 then
+             Tcp.Cc.on_loss c Tcp.Cc.Timeout ~highest_sent:!ackno
+           else ignore (Tcp.Cc.on_ack c ~ackno:!ackno ~newly:1 : bool)
+         done))
+
 let bench_rto =
   Test.make ~name:"rto estimator: 1k samples"
     (Staged.stage (fun () ->
@@ -207,6 +224,7 @@ let measure_micro () =
       bench_event_queue;
       bench_sim_cascade;
       bench_cong;
+      bench_cc;
       bench_rto;
       bench_end_to_end;
       bench_end_to_end_validated;
@@ -558,6 +576,45 @@ let run_faults_overhead () =
     (100. *. ((lossy /. none) -. 1.))
 
 (* ------------------------------------------------------------------ *)
+(* 5b. CC variant zoo timing                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Wall-clock per registered congestion-control variant on the same
+   two-way 100 sim-second configuration the engine bench uses: a cheap
+   way to spot a zoo entry whose hooks blow up the hot path. *)
+let run_cc_bench () =
+  banner "CC VARIANT ZOO: wall-clock per variant, two-way 100 sim-seconds";
+  Tcp.Cc_zoo.ensure_registered ();
+  let scenario cc =
+    Core.Scenario.make ~name:"cc-bench" ~tau:0.01 ~buffer:(Some 20)
+      ~conns:
+        [
+          Core.Scenario.conn ~cc Core.Scenario.Forward;
+          Core.Scenario.conn ~cc ~start_time:1. Core.Scenario.Reverse;
+        ]
+      ~duration:100. ~warmup:1. ()
+  in
+  Printf.printf "%-18s %12s %12s\n" "variant" "time/run" "events";
+  List.iter
+    (fun name ->
+      let sc = scenario (Tcp.Cc.spec name) in
+      let r = Core.Runner.run sc in  (* warm *)
+      let events =
+        Engine.Sim.events_run
+          (Net.Network.sim r.Core.Runner.dumbbell.Net.Topology.net)
+      in
+      let reps = 3 in
+      let best = ref infinity in
+      for _ = 1 to reps do
+        let t0 = Unix.gettimeofday () in
+        ignore (Core.Runner.run sc : Core.Runner.result);
+        best := Float.min !best (Unix.gettimeofday () -. t0)
+      done;
+      Printf.printf "%-18s %9.2f ms %12d\n" name (1000. *. !best) events)
+    (Tcp.Cc.names ());
+  0
+
+(* ------------------------------------------------------------------ *)
 (* 6. Observability overhead                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -697,6 +754,7 @@ let () =
     | [ "faults-overhead" ] ->
       run_faults_overhead ();
       0
+    | [ "cc" ] -> run_cc_bench ()
     | [] ->
       let outcomes = run_experiments [] in
       run_gallery ();

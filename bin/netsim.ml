@@ -347,21 +347,47 @@ let metrics_file_json probe =
 
 (* ---------------- run ---------------- *)
 
-let run_custom tau buffer fwd rev fixed delack ack_size algorithm pacing
+let run_custom tau buffer fwd rev fixed delack ack_size algorithm cc pacing
     gateway flow_size skew duration warmup csv_dir validate faults_cli
     obs_cli =
+  (* [--cc list] prints the registry and exits (usable without any other
+     scenario flags). *)
+  (match cc with
+   | Some ("list" | "help") ->
+     List.iter
+       (fun (id, describe) -> Printf.printf "%-18s %s\n" id describe)
+       (Tcp.Cc.zoo ());
+     exit 0
+   | _ -> ());
   if fwd + rev = 0 && fixed = None then begin
     prerr_endline "nothing to simulate: need --fwd, --rev or --fixed";
     exit 2
   end;
-  let algorithm =
-    match algorithm with
-    | "tahoe" -> Tcp.Cong.Tahoe { modified_ca = true }
-    | "tahoe-original" -> Tcp.Cong.Tahoe { modified_ca = false }
-    | "reno" -> Tcp.Cong.Reno { modified_ca = true }
-    | other ->
-      prerr_endline ("unknown algorithm " ^ other ^ " (tahoe|tahoe-original|reno)");
-      exit 2
+  let cc =
+    match cc with
+    | Some s -> (
+      match Tcp.Cc.spec_of_string s with
+      | Error msg ->
+        prerr_endline ("bad --cc: " ^ msg);
+        exit 2
+      | Ok spec ->
+        (* Trial-instantiate so an unknown name or bad parameter fails
+           here with the registry listing, not mid-scenario. *)
+        (try ignore (Tcp.Cc.make spec ~maxwnd:1000 : Tcp.Cc.t)
+         with Invalid_argument msg ->
+           prerr_endline ("bad --cc: " ^ msg);
+           exit 2);
+        spec)
+    | None -> (
+      (* Legacy spelling, kept for compatibility. *)
+      match algorithm with
+      | "tahoe" -> Tcp.Cc.spec "tahoe"
+      | "tahoe-original" -> Tcp.Cc.spec "tahoe-unmodified"
+      | "reno" -> Tcp.Cc.spec "reno"
+      | other ->
+        prerr_endline
+          ("unknown algorithm " ^ other ^ " (tahoe|tahoe-original|reno)");
+        exit 2)
   in
   let gateway =
     match gateway with
@@ -385,11 +411,11 @@ let run_custom tau buffer fwd rev fixed delack ack_size algorithm pacing
     | None ->
       Core.Scenario.stagger ~step:1.0
         (List.init fwd (fun i ->
-             Core.Scenario.conn ~algorithm ~pacing ~delayed_ack:delack ~ack_size
+             Core.Scenario.conn ~cc ~pacing ~delayed_ack:delack ~ack_size
                ~rtt_skew:(if i = 0 then 0. else skew)
                ~flow_size Core.Scenario.Forward)
         @ List.init rev (fun _ ->
-              Core.Scenario.conn ~algorithm ~pacing ~delayed_ack:delack
+              Core.Scenario.conn ~cc ~pacing ~delayed_ack:delack
                 ~ack_size ~flow_size Core.Scenario.Reverse))
   in
   let buffer = if buffer <= 0 then None else Some buffer in
@@ -529,7 +555,20 @@ let run_cmd =
     Arg.(
       value & opt string "tahoe"
       & info [ "algorithm" ] ~docv:"ALGO"
-          ~doc:"Congestion control: tahoe, tahoe-original, or reno.")
+          ~doc:
+            "Congestion control (legacy spelling): tahoe, tahoe-original, \
+             or reno.  Superseded by $(b,--cc).")
+  in
+  let cc =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cc" ] ~docv:"NAME[:K=V,...]"
+          ~doc:
+            "Congestion control from the registry, with optional \
+             parameters (e.g. newreno, aimd:a=1,b=0.7, fixed:w=30).  \
+             $(b,--cc list) prints the registered variants.  Wins over \
+             $(b,--algorithm).")
   in
   let pacing =
     Arg.(
@@ -584,8 +623,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Simulate a custom dumbbell scenario.")
     Term.(
       const run_custom $ tau $ buffer $ fwd $ rev $ fixed $ delack $ ack_size
-      $ algorithm $ pacing $ gateway $ flow_size $ skew $ duration $ warmup
-      $ csv $ validate_flag $ fault_term $ obs_term)
+      $ algorithm $ cc $ pacing $ gateway $ flow_size $ skew $ duration
+      $ warmup $ csv $ validate_flag $ fault_term $ obs_term)
 
 (* ---------------- sweep ---------------- *)
 

@@ -823,11 +823,11 @@ let ablation_table ?(speed = Full) () =
 (* TAB-RENO: the conjecture across algorithms                          *)
 (* ------------------------------------------------------------------ *)
 
-let two_way_scenario ?(algorithm = Tcp.Cong.Tahoe { modified_ca = true })
+let two_way_scenario ?algorithm ?cc
     ?(pacing = None) ?(gateway = Net.Discipline.Fifo) ?(per_dir = 1)
     ?(buffer = 20) ~tau speed =
   let duration, warmup = horizon speed in
-  let conn dir = Scenario.conn ~algorithm ~pacing dir in
+  let conn dir = Scenario.conn ?algorithm ?cc ~pacing dir in
   Scenario.make ~name:"two-way" ~tau ~buffer:(Some buffer) ~gateway
     ~conns:
       (Scenario.stagger ~step:1.0
@@ -868,6 +868,80 @@ let reno_table ?(speed = Full) () =
           ~paper:"n/a (Reno postdates the paper)"
           ~measured:(fmt "%s / %s" (pct small.util_fwd) (pct small.util_bwd));
       ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* TAB-CCZOO: the conjecture across the whole variant zoo              *)
+(* ------------------------------------------------------------------ *)
+
+let cczoo_table ?(speed = Full) () =
+  (* Every adaptive registry entry through the small-pipe two-way
+     configuration (fig-4 shape): the paper's phenomena should not be
+     Tahoe-specific.  The oracle rides along as the loss-blind
+     calibration point. *)
+  let run cc = Runner.run (two_way_scenario ~cc ~tau:0.01 speed) in
+  let rows =
+    List.map
+      (fun name ->
+        let r = run (Tcp.Cc.spec name) in
+        let phase, corr = Runner.queue_phase r in
+        (name, r, phase, corr))
+      Tcp.Cc_zoo.adaptive
+  in
+  let min_util (r : Runner.result) = Float.min r.util_fwd r.util_bwd in
+  let util_checks =
+    List.map
+      (fun (name, r, _, _) ->
+        Report.expect
+          ~metric:(fmt "%s: two-way utilization penalty" name)
+          ~paper:"conjectured for any nonpaced window algorithm"
+          ~measured:(fmt "%s / %s" (pct r.Runner.util_fwd) (pct r.Runner.util_bwd))
+          (min_util r > 0.05 && min_util r < 0.995))
+      rows
+  in
+  let phase_checks =
+    List.filter_map
+      (fun (name, _, phase, corr) ->
+        let measured =
+          fmt "%s (r=%.2f)" (Analysis.Sync.phase_to_string phase) corr
+        in
+        (* Only the go-back-N machines the paper (and TAB-RENO) analyzed
+           are pinned to a mode; NewReno's partial-ACK recovery avoids the
+           timeouts that decouple the two flows, and settles in-phase. *)
+        if List.mem name [ "tahoe"; "reno" ] then
+          Some
+            (Report.expect
+               ~metric:(fmt "%s: synchronization, small pipe" name)
+               ~paper:"out-of-phase (fig 4)" ~measured
+               (phase = Analysis.Sync.Out_of_phase))
+        else
+          Some
+            (Report.info ~metric:(fmt "%s: synchronization, small pipe" name)
+               ~paper:"n/a (postdates the paper)" ~measured))
+      rows
+  in
+  let fluct_checks =
+    List.map
+      (fun (name, r, _, _) ->
+        Report.info
+          ~metric:(fmt "%s: rapid queue fluctuations (events/s)" name)
+          ~paper:"ACK-compression signature"
+          ~measured:(fmt "%.2f" (fluctuation r r.Runner.q1)))
+      rows
+  in
+  let oracle =
+    run (Tcp.Cc.spec ~params:[ ("rate", 12.5) ] "oracle")
+  in
+  let oracle_check =
+    Report.info ~metric:"oracle: rate-pinned calibration utilization"
+      ~paper:"loss-blind BDP window"
+      ~measured:
+        (fmt "%s / %s" (pct oracle.Runner.util_fwd) (pct oracle.Runner.util_bwd))
+  in
+  {
+    Report.id = "TAB-CCZOO";
+    title = "the variant zoo under two-way traffic: phenomena are not Tahoe-specific";
+    checks = util_checks @ phase_checks @ fluct_checks @ [ oracle_check ];
   }
 
 (* ------------------------------------------------------------------ *)
@@ -965,6 +1039,7 @@ let collapse_table ?(speed = Full) () =
      network" (2.1): a fixed window with retransmission but no congestion
      control. *)
   let run algorithm loss_detection =
+    let cc = Tcp.Cc.spec_of_algorithm algorithm in
     Runner.run
       (Scenario.make ~name:"collapse" ~tau:1.0 ~buffer:(Some 20)
          ~conns:
@@ -973,7 +1048,7 @@ let collapse_table ?(speed = Full) () =
                    let dir =
                      if i = 0 then Scenario.Forward else Scenario.Reverse
                    in
-                   { (Scenario.conn dir) with algorithm; loss_detection })))
+                   { (Scenario.conn dir) with cc; loss_detection })))
          ~duration ~warmup ())
   in
   let tahoe = run (Tcp.Cong.Tahoe { modified_ca = true }) true in
@@ -1176,6 +1251,7 @@ let registry =
     ("multihop", multihop_table);
     ("ablation", ablation_table);
     ("reno", reno_table);
+    ("cczoo", cczoo_table);
     ("pacing", pacing_table);
     ("gateways", gateway_table);
     ("collapse", collapse_table);

@@ -60,6 +60,12 @@ val reno_table : ?speed:speed -> unit -> Report.outcome
 (** 1's conjecture, part 1: the phenomena are not Tahoe-specific — 4.3-Reno
     fast recovery shows the same synchronization modes and fluctuations. *)
 
+val cczoo_table : ?speed:speed -> unit -> Report.outcome
+(** The conjecture across the whole {!Tcp.Cc} zoo: every adaptive variant
+    (tahoe, reno, newreno, aimd, compound, ...) through the small-pipe
+    two-way configuration, plus the loss-blind oracle as the calibration
+    point. *)
+
 val pacing_table : ?speed:speed -> unit -> Report.outcome
 (** 1's conjecture, part 2: pacing destroys the clustering that
     ACK-compression requires, and with it the two-way utilization

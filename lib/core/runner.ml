@@ -36,7 +36,7 @@ let connection_config (d : Net.Topology.dumbbell) ~conn_id
     | Scenario.Reverse -> (d.host2, d.host1)
   in
   Tcp.Config.make ~conn:conn_id ~src_host ~dst_host ~ack_size:spec.ack_size
-    ~maxwnd:spec.maxwnd ~algorithm:spec.algorithm ~start_time:spec.start_time
+    ~maxwnd:spec.maxwnd ~cc:spec.cc ~start_time:spec.start_time
     ~delayed_ack:spec.delayed_ack ~loss_detection:spec.loss_detection
     ~rto_params:spec.rto_params ~pacing:spec.pacing ~rtt_skew:spec.rtt_skew
     ~flow_size:spec.flow_size ()

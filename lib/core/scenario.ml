@@ -2,7 +2,7 @@ type direction = Forward | Reverse
 
 type conn_spec = {
   dir : direction;
-  algorithm : Tcp.Cong.algorithm;
+  cc : Tcp.Cc.spec;
   start_time : float;
   delayed_ack : bool;
   ack_size : int;
@@ -14,13 +14,19 @@ type conn_spec = {
   flow_size : int option;
 }
 
-let conn ?(algorithm = Tcp.Cong.Tahoe { modified_ca = true }) ?(start_time = 0.)
+let conn ?algorithm ?cc ?(start_time = 0.)
     ?(delayed_ack = false) ?(ack_size = 50) ?(loss_detection = true)
     ?(maxwnd = 1000) ?(rto_params = Tcp.Rto.default_params) ?(pacing = None)
     ?(rtt_skew = 0.) ?(flow_size = None) dir =
+  let cc =
+    match (cc, algorithm) with
+    | Some s, _ -> s
+    | None, Some a -> Tcp.Cc.spec_of_algorithm a
+    | None, None -> Tcp.Cc.spec "tahoe"
+  in
   {
     dir;
-    algorithm;
+    cc;
     start_time;
     delayed_ack;
     ack_size;
@@ -35,7 +41,7 @@ let conn ?(algorithm = Tcp.Cong.Tahoe { modified_ca = true }) ?(start_time = 0.)
 let fixed_conn ?(start_time = 0.) ?(ack_size = 50) ~window dir =
   {
     dir;
-    algorithm = Tcp.Cong.Fixed window;
+    cc = Tcp.Cc.spec ~params:[ ("w", float_of_int window) ] "fixed";
     start_time;
     delayed_ack = false;
     ack_size;

@@ -203,6 +203,43 @@ let buffers =
   }
 
 (* ------------------------------------------------------------------ *)
+(* CC zoo: every adaptive variant over the two synchronization regimes  *)
+(* ------------------------------------------------------------------ *)
+
+let cc_zoo_taus = [ 0.01; 1.0 ]
+
+(* Row-major over variant then tau (one row per registry entry). *)
+let cc_zoo_points ~quick =
+  let duration, warmup = if quick then (200., 80.) else (400., 150.) in
+  List.concat_map
+    (fun name ->
+      let cc = Tcp.Cc.spec name in
+      List.map
+        (fun tau ->
+          let scenario =
+            Core.Scenario.make
+              ~name:(fmt "cc-%s-t%g" name tau)
+              ~tau ~buffer:(Some 20)
+              ~conns:
+                (Core.Scenario.stagger ~step:1.0
+                   [
+                     Core.Scenario.conn ~cc Core.Scenario.Forward;
+                     Core.Scenario.conn ~cc Core.Scenario.Reverse;
+                   ])
+              ~duration ~warmup ()
+          in
+          Driver.point ~params:[ ("tau", tau) ] scenario)
+        cc_zoo_taus)
+    Tcp.Cc_zoo.adaptive
+
+let cc_zoo =
+  {
+    name = "cc-zoo";
+    title = "the CC variant zoo: two-way 1+1 per variant, small and large pipe";
+    points = cc_zoo_points;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* CI smoke: a tiny grid that exercises the parallel path in seconds    *)
 (* ------------------------------------------------------------------ *)
 
@@ -237,6 +274,6 @@ let smoke =
 
 (* ------------------------------------------------------------------ *)
 
-let all = [ fig8; fig9; phase_diagram; mode_atlas; buffers; smoke ]
+let all = [ fig8; fig9; phase_diagram; mode_atlas; buffers; cc_zoo; smoke ]
 
 let find name = List.find_opt (fun s -> s.name = name) all

@@ -1,6 +1,7 @@
 type t = {
   id : string;
   params : (string * float) list;
+  cc : string;
   util_fwd : float;
   util_bwd : float;
   drops_window : int;
@@ -24,12 +25,30 @@ let queue_max (r : Core.Runner.result) qt =
   | Some (_, hi) -> hi
   | None -> 0.
 
+(* Distinct controller specs across the point's connections, first-use
+   order ("tahoe" for a homogeneous classic run, "tahoe,fixed:w=30" for a
+   mixed one). *)
+let cc_of_conns conns =
+  let seen = Hashtbl.create 4 in
+  let names =
+    Array.to_list conns
+    |> List.filter_map (fun ((spec : Core.Scenario.conn_spec), _) ->
+           let s = Tcp.Cc.spec_to_string spec.cc in
+           if Hashtbl.mem seen s then None
+           else begin
+             Hashtbl.add seen s ();
+             Some s
+           end)
+  in
+  String.concat "," names
+
 let of_result ~id ?(params = []) (r : Core.Runner.result) =
   let phase, phase_corr = Core.Runner.queue_phase r in
   let epochs = Core.Runner.epochs r in
   {
     id;
     params;
+    cc = cc_of_conns r.conns;
     util_fwd = r.util_fwd;
     util_bwd = r.util_bwd;
     drops_window = List.length (Core.Runner.drops_in_window r);
@@ -94,13 +113,14 @@ let to_json s =
          s.metrics)
   in
   Printf.sprintf
-    "{\"id\":\"%s\",\"params\":{%s},\"util_fwd\":%s,\"util_bwd\":%s,\
+    "{\"id\":\"%s\",\"params\":{%s},\"cc\":\"%s\",\"util_fwd\":%s,\"util_bwd\":%s,\
      \"drops_window\":%d,\"drops_total\":%d,\"delivered\":[%s],\
      \"phase\":\"%s\",\"phase_corr\":%s,\"epochs\":%d,\
      \"mean_drops_per_epoch\":%s,\"single_loser\":%s,\
      \"q1_max\":%s,\"q2_max\":%s,\"effective_pipe\":%s,\
      \"metrics\":{%s}}"
-    (escape s.id) params (float_json s.util_fwd) (float_json s.util_bwd)
+    (escape s.id) params (escape s.cc) (float_json s.util_fwd)
+    (float_json s.util_bwd)
     s.drops_window s.drops_total delivered (escape s.phase)
     (float_json s.phase_corr) s.epoch_count
     (opt_float_json s.mean_drops_per_epoch)

@@ -8,6 +8,9 @@
 type t = {
   id : string;  (** scenario name, unique within a sweep *)
   params : (string * float) list;  (** grid coordinates of this point *)
+  cc : string;
+      (** distinct congestion-controller specs across the point's
+          connections, comma-joined in first-use order *)
   util_fwd : float;
   util_bwd : float;
   drops_window : int;  (** drops inside the measurement window *)

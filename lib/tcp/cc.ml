@@ -1,0 +1,188 @@
+type reason = Fast_retransmit | Timeout
+
+(* ------------------------------------------------------------------ *)
+(* Specs                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type spec = { name : string; params : (string * float) list }
+
+let spec ?(params = []) name = { name; params }
+
+let spec_of_string s =
+  let name, rest =
+    match String.index_opt s ':' with
+    | None -> (s, "")
+    | Some i ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  in
+  let name = String.trim name in
+  if name = "" then Error "empty congestion-control name"
+  else if rest = "" then Ok { name; params = [] }
+  else
+    let parse_kv kv =
+      match String.index_opt kv '=' with
+      | None -> Error (Printf.sprintf "expected k=v, got %S" kv)
+      | Some i ->
+        let k = String.trim (String.sub kv 0 i) in
+        let v = String.trim (String.sub kv (i + 1) (String.length kv - i - 1)) in
+        if k = "" then Error (Printf.sprintf "empty parameter name in %S" kv)
+        else (
+          match float_of_string_opt v with
+          | Some f -> Ok (k, f)
+          | None -> Error (Printf.sprintf "parameter %s: bad number %S" k v))
+    in
+    let rec go acc = function
+      | [] -> Ok { name; params = List.rev acc }
+      | kv :: rest -> (
+        match parse_kv kv with
+        | Ok p -> go (p :: acc) rest
+        | Error _ as e -> e)
+    in
+    go [] (String.split_on_char ',' rest)
+
+let spec_to_string { name; params } =
+  match params with
+  | [] -> name
+  | _ ->
+    name ^ ":"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=%g" k v) params)
+
+let spec_of_algorithm = function
+  | Cong.Tahoe { modified_ca = true } -> spec "tahoe"
+  | Cong.Tahoe { modified_ca = false } -> spec "tahoe-unmodified"
+  | Cong.Reno { modified_ca = true } -> spec "reno"
+  | Cong.Reno { modified_ca = false } -> spec "reno-unmodified"
+  | Cong.Fixed w -> spec ~params:[ ("w", float_of_int w) ] "fixed"
+
+(* ------------------------------------------------------------------ *)
+(* The interface                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module type S = sig
+  type t
+
+  val id : string
+  val describe : string
+  val create : maxwnd:int -> params:(string * float) list -> t
+  val on_ack : t -> ackno:int -> newly:int -> bool
+  val on_dup_ack : t -> unit
+  val on_loss : t -> reason -> highest_sent:int -> unit
+  val on_send : t -> seq:int -> retransmit:bool -> unit
+  val on_rtt_sample : t -> rtt:float -> unit
+  val window : t -> int
+  val cwnd : t -> float
+  val ssthresh : t -> float
+  val in_slow_start : t -> bool
+  val in_recovery : t -> bool
+  val reset : t -> unit
+end
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let registry : (string, (module S)) Hashtbl.t = Hashtbl.create 16
+let order : string list ref = ref []
+
+let register (module M : S) =
+  if Hashtbl.mem registry M.id then
+    invalid_arg (Printf.sprintf "Cc.register: duplicate entry %S" M.id);
+  Hashtbl.replace registry M.id (module M : S);
+  order := M.id :: !order
+
+let find name = Hashtbl.find_opt registry name
+let names () = List.rev !order
+
+let zoo () =
+  List.map
+    (fun name ->
+      let (module M : S) = Hashtbl.find registry name in
+      (M.id, M.describe))
+    (names ())
+
+(* ------------------------------------------------------------------ *)
+(* Packed instances                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* One record of closures over the module's own state type: the sender
+   stays monomorphic and pays one indirect call per hook.  Built once
+   per connection, never on the event hot path. *)
+type t = {
+  spec : spec;
+  maxwnd : int;
+  ack : ackno:int -> newly:int -> bool;
+  dup_ack : unit -> unit;
+  loss : reason -> highest_sent:int -> unit;
+  send : seq:int -> retransmit:bool -> unit;
+  rtt_sample : rtt:float -> unit;
+  window : unit -> int;
+  cwnd : unit -> float;
+  ssthresh : unit -> float;
+  in_slow_start : unit -> bool;
+  in_recovery : unit -> bool;
+  reset : unit -> unit;
+}
+
+let instantiate (module M : S) ~maxwnd ~params =
+  if maxwnd < 2 then invalid_arg "Cc.instantiate: maxwnd must be >= 2";
+  let st = M.create ~maxwnd ~params in
+  {
+    spec = { name = M.id; params };
+    maxwnd;
+    ack = (fun ~ackno ~newly -> M.on_ack st ~ackno ~newly);
+    dup_ack = (fun () -> M.on_dup_ack st);
+    loss = (fun reason ~highest_sent -> M.on_loss st reason ~highest_sent);
+    send = (fun ~seq ~retransmit -> M.on_send st ~seq ~retransmit);
+    rtt_sample = (fun ~rtt -> M.on_rtt_sample st ~rtt);
+    window = (fun () -> M.window st);
+    cwnd = (fun () -> M.cwnd st);
+    ssthresh = (fun () -> M.ssthresh st);
+    in_slow_start = (fun () -> M.in_slow_start st);
+    in_recovery = (fun () -> M.in_recovery st);
+    reset = (fun () -> M.reset st);
+  }
+
+let make spec ~maxwnd =
+  match find spec.name with
+  | Some m -> instantiate m ~maxwnd ~params:spec.params
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "Cc.make: unknown congestion control %S (registered: %s)" spec.name
+         (String.concat ", " (names ())))
+
+let spec_of t = t.spec
+let name t = t.spec.name
+let maxwnd t = t.maxwnd
+let on_ack t ~ackno ~newly = t.ack ~ackno ~newly
+let on_dup_ack t = t.dup_ack ()
+let on_loss t reason ~highest_sent = t.loss reason ~highest_sent
+let on_send t ~seq ~retransmit = t.send ~seq ~retransmit
+let on_rtt_sample t ~rtt = t.rtt_sample ~rtt
+let window t = t.window ()
+let cwnd t = t.cwnd ()
+let ssthresh t = t.ssthresh ()
+let in_slow_start t = t.in_slow_start ()
+let in_recovery t = t.in_recovery ()
+let reset t = t.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Parameter helpers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let param params key ~default =
+  match List.assoc_opt key params with Some v -> v | None -> default
+
+let check_params ~who ~allowed params =
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem k allowed) then
+        invalid_arg
+          (Printf.sprintf "%s: unknown parameter %S (allowed: %s)" who k
+             (if allowed = [] then "none" else String.concat ", " allowed)))
+    params;
+  (* A repeated key would silently shadow; reject it. *)
+  let keys = List.map fst params in
+  if List.length (List.sort_uniq compare keys) <> List.length keys then
+    invalid_arg (Printf.sprintf "%s: duplicate parameter" who)

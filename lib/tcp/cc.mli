@@ -1,0 +1,140 @@
+(** Pluggable congestion control.
+
+    The congestion controller is a first-class module: every algorithm
+    implements {!S} (window arithmetic only — the sender owns
+    retransmission, timers and pacing) and registers itself under a
+    string key.  {!Sender} drives whatever instance its {!Config} names,
+    so scenarios, sweeps and the CLI can swap algorithms without
+    touching the transport machinery.
+
+    A controller is named by a {!spec}: a registry key plus optional
+    [k=v] float parameters, written ["name"] or ["name:k=v,k=v"]
+    (e.g. ["aimd:a=1,b=0.7"]).  Unknown names and unknown parameter
+    keys are rejected at instantiation, so a typo fails the run up
+    front rather than silently running Tahoe.
+
+    Window sizes are measured in units of maximum-size packets, as in
+    the paper. *)
+
+(** How a loss was detected.  [Fast_retransmit] is the dup-ACK
+    threshold; [Timeout] is the retransmission timer (and always
+    collapses adaptive controllers to slow start). *)
+type reason = Fast_retransmit | Timeout
+
+(** {1 Specs} *)
+
+type spec = { name : string; params : (string * float) list }
+
+val spec : ?params:(string * float) list -> string -> spec
+
+(** Parse ["name"] or ["name:k=v,k=v"].  Purely syntactic — the name
+    and keys are checked against the registry by {!make}. *)
+val spec_of_string : string -> (spec, string) result
+
+(** Inverse of {!spec_of_string} (parameters in order, [%g] floats). *)
+val spec_to_string : spec -> string
+
+(** The spec equivalent of a classic {!Cong.algorithm} variant. *)
+val spec_of_algorithm : Cong.algorithm -> spec
+
+(** {1 The module interface} *)
+
+module type S = sig
+  type t
+
+  (** Registry key ("tahoe", "newreno", ...). *)
+  val id : string
+
+  (** One-line description for the zoo table. *)
+  val describe : string
+
+  (** [create ~maxwnd ~params] builds the initial state (slow start
+      where applicable).  Must reject unknown parameter keys and
+      out-of-range values with [Invalid_argument]. *)
+  val create : maxwnd:int -> params:(string * float) list -> t
+
+  (** An ACK of new data arrived: [ackno] is the new cumulative ACK,
+      [newly] the number of packets it acknowledges.  Returns [true]
+      when the controller remains in a recovery that requires the
+      sender to retransmit the first unacknowledged segment (NewReno
+      partial-ACK recovery); plain controllers always return [false]. *)
+  val on_ack : t -> ackno:int -> newly:int -> bool
+
+  (** A duplicate ACK beyond the fast-retransmit threshold (Reno-style
+      window inflation; no-op elsewhere). *)
+  val on_dup_ack : t -> unit
+
+  (** Loss detected.  [highest_sent] is the largest sequence number
+      transmitted so far (NewReno's recovery point). *)
+  val on_loss : t -> reason -> highest_sent:int -> unit
+
+  (** A data packet was handed to the network. *)
+  val on_send : t -> seq:int -> retransmit:bool -> unit
+
+  (** A Karn-valid RTT measurement (delay-based controllers). *)
+  val on_rtt_sample : t -> rtt:float -> unit
+
+  (** The usable window in whole packets: at least 1, at most the
+      advertised [maxwnd]. *)
+  val window : t -> int
+
+  (** The continuous window (for traces; the effective total for
+      hybrid controllers). *)
+  val cwnd : t -> float
+
+  val ssthresh : t -> float
+  val in_slow_start : t -> bool
+  val in_recovery : t -> bool
+
+  (** Back to the initial state (new connection). *)
+  val reset : t -> unit
+end
+
+(** {1 Running instances} *)
+
+(** A packed instance: one controller's state behind the hooks. *)
+type t
+
+val instantiate : (module S) -> maxwnd:int -> params:(string * float) list -> t
+
+(** Look the spec's name up in the registry and instantiate it.
+    Raises [Invalid_argument] (listing the registered names) for an
+    unknown name, and whatever the module's [create] raises for bad
+    parameters. *)
+val make : spec -> maxwnd:int -> t
+
+val spec_of : t -> spec
+val name : t -> string
+val maxwnd : t -> int
+val on_ack : t -> ackno:int -> newly:int -> bool
+val on_dup_ack : t -> unit
+val on_loss : t -> reason -> highest_sent:int -> unit
+val on_send : t -> seq:int -> retransmit:bool -> unit
+val on_rtt_sample : t -> rtt:float -> unit
+val window : t -> int
+val cwnd : t -> float
+val ssthresh : t -> float
+val in_slow_start : t -> bool
+val in_recovery : t -> bool
+val reset : t -> unit
+
+(** {1 Registry} *)
+
+(** Raises [Invalid_argument] on a duplicate key. *)
+val register : (module S) -> unit
+
+val find : string -> (module S) option
+
+(** Registered keys, in registration order. *)
+val names : unit -> string list
+
+(** [(id, describe)] rows, in registration order. *)
+val zoo : unit -> (string * string) list
+
+(** {1 Parameter helpers for implementations} *)
+
+(** [param params key ~default]. *)
+val param : (string * float) list -> string -> default:float -> float
+
+(** Reject keys outside [allowed] with [Invalid_argument]. *)
+val check_params : who:string -> allowed:string list -> (string * float) list -> unit

@@ -1,0 +1,30 @@
+(** The congestion-control variant zoo.
+
+    Registers the built-in {!Cc} entries:
+
+    - ["tahoe"], ["tahoe-unmodified"] — the paper's 4.3-Tahoe machine,
+      with the modified (1/floor cwnd) or original (1/cwnd) avoidance
+      increment; behavior-identical to {!Cong} (pinned by the
+      differential test suite).
+    - ["reno"], ["reno-unmodified"] — 4.3-Reno fast recovery.
+    - ["newreno"] — Reno plus RFC-6582-style partial-ACK recovery: a
+      partial ACK retransmits the next hole and deflates by the amount
+      acknowledged instead of ending recovery.
+    - ["aimd"] — plain AIMD(a, b): +a per window of ACKs,
+      cwnd <- b * cwnd on loss (Avrachenkov et al.); [a=1], [b=0.5]
+      reproduce Tahoe-without-slow-start-reset dynamics.
+    - ["compound"] — a Compound-TCP-style delay+loss hybrid: a Reno
+      loss window plus a delay window fed by RTT samples that backs
+      off once the estimated self-induced queue exceeds [gamma].
+    - ["oracle"] — rate-pinned calibration controller: window =
+      rate x min-RTT (the ideal BDP window), deaf to loss.
+    - ["fixed"] — the paper's fixed-window flow control (Figures 8-9).
+
+    Registration happens at module initialization; [ensure_registered]
+    forces linkage from code that only touches the registry. *)
+
+val ensure_registered : unit -> unit
+
+(** The adaptive entries (everything except ["fixed"] and ["oracle"]),
+    for sweep grids and the cross-variant experiment. *)
+val adaptive : string list

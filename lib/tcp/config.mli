@@ -13,7 +13,7 @@ type t = {
   data_size : int;  (** bytes *)
   ack_size : int;  (** bytes; 0 models the §4.3.3 zero-length-ACK system *)
   maxwnd : int;
-  algorithm : Cong.algorithm;
+  cc : Cc.spec;  (** congestion controller, resolved via the {!Cc} registry *)
   start_time : float;
   delayed_ack : bool;
   delack_timeout : float;  (** s *)
@@ -36,6 +36,11 @@ type t = {
           breaks that assumption. *)
 }
 
+(** [?cc] names the congestion controller (default ["tahoe"]); [?algorithm]
+    is the legacy closed-variant selector, mapped through
+    {!Cc.spec_of_algorithm} and overridden by [?cc] when both are given.
+    The spec is instantiated once here, so an unknown name or bad
+    parameter raises [Invalid_argument] immediately. *)
 val make :
   conn:int ->
   src_host:int ->
@@ -44,6 +49,7 @@ val make :
   ?ack_size:int ->
   ?maxwnd:int ->
   ?algorithm:Cong.algorithm ->
+  ?cc:Cc.spec ->
   ?start_time:float ->
   ?delayed_ack:bool ->
   ?delack_timeout:float ->

@@ -40,7 +40,9 @@ let ssthresh t = t.ssthresh
 
 let wnd t =
   match t.algorithm with
-  | Fixed w -> w
+  (* The fixed window is still subject to the advertised maximum: a
+     [Fixed w] with [w > maxwnd] must not overrun the receiver. *)
+  | Fixed w -> max 1 (min w t.maxwnd)
   | Tahoe _ | Reno _ ->
     max 1 (int_of_float (Float.min t.cwnd (float_of_int t.maxwnd)))
 

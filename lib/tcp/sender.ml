@@ -1,10 +1,14 @@
 type loss_reason = Dup_ack | Timeout
 
+(* Referencing the zoo here forces its registration side effects to be
+   linked into every program that links the sender. *)
+let () = Cc_zoo.ensure_registered ()
+
 type t = {
   net : Net.Network.t;
   sim : Engine.Sim.t;
   config : Config.t;
-  cong : Cong.t;
+  cc : Cc.t;
   rto : Rto.t;
   mutable snd_una : int;
   mutable snd_nxt : int;
@@ -35,8 +39,7 @@ let make net config =
     net;
     sim;
     config;
-    cong = Cong.create ~algorithm:config.Config.algorithm
-        ~maxwnd:config.Config.maxwnd;
+    cc = Cc.make config.Config.cc ~maxwnd:config.Config.maxwnd;
     rto = Rto.create config.Config.rto_params;
     snd_una = 0;
     snd_nxt = 0;
@@ -58,9 +61,9 @@ let make net config =
   }
 
 let config t = t.config
-let cong t = t.cong
-let cwnd t = Cong.cwnd t.cong
-let ssthresh t = Cong.ssthresh t.cong
+let cc t = t.cc
+let cwnd t = Cc.cwnd t.cc
+let ssthresh t = Cc.ssthresh t.cc
 let snd_una t = t.snd_una
 let snd_nxt t = t.snd_nxt
 let outstanding t = t.snd_nxt - t.snd_una
@@ -85,7 +88,7 @@ let now t = Engine.Sim.now t.sim
 let fire_cwnd t =
   let time = now t in
   List.iter
-    (fun f -> f time ~cwnd:(Cong.cwnd t.cong) ~ssthresh:(Cong.ssthresh t.cong))
+    (fun f -> f time ~cwnd:(Cc.cwnd t.cc) ~ssthresh:(Cc.ssthresh t.cc))
     t.cwnd_hooks
 
 let fire_loss t reason =
@@ -116,14 +119,14 @@ and handle_loss t reason =
   fire_loss t reason;
   (match reason with
    | Timeout ->
-     Cong.on_timeout t.cong;
+     Cc.on_loss t.cc Cc.Timeout ~highest_sent:t.highest_sent;
      fire_cwnd t;
      t.timing <- None;  (* Karn: no sample spans the retransmission *)
      (* Timeout recovery is go-back-N: resume from the hole. *)
      t.snd_nxt <- t.snd_una;
      try_send t
    | Dup_ack ->
-     Cong.on_fast_retransmit t.cong;
+     Cc.on_loss t.cc Cc.Fast_retransmit ~highest_sent:t.highest_sent;
      fire_cwnd t;
      t.timing <- None;
      (* Fast retransmit (both Tahoe and Reno) resends only the missing
@@ -141,7 +144,7 @@ and try_send t =
   match t.config.Config.pacing with
   | None ->
     (* Nonpaced: inject immediately while the window has room. *)
-    let limit = min (t.snd_una + Cong.wnd t.cong) (flow_limit t) in
+    let limit = min (t.snd_una + Cc.window t.cc) (flow_limit t) in
     while t.snd_nxt < limit do
       send_one t t.snd_nxt;
       t.snd_nxt <- t.snd_nxt + 1
@@ -151,7 +154,7 @@ and try_send t =
 (* Paced transmission: at most one data packet per [interval], surplus
    window permission is spent by a self-rescheduling pacer event. *)
 and paced_send t interval =
-  let limit = min (t.snd_una + Cong.wnd t.cong) (flow_limit t) in
+  let limit = min (t.snd_una + Cc.window t.cc) (flow_limit t) in
   if t.snd_nxt < limit then begin
     let now_ = now t in
     if now_ +. 1e-12 >= t.next_send then begin
@@ -176,6 +179,7 @@ and send_one t seq =
     t.highest_sent <- seq
   end;
   if t.timing = None && not retransmit then t.timing <- Some (seq, now t);
+  Cc.on_send t.cc ~seq ~retransmit;
   let p =
     Net.Network.make_packet t.net ~conn:t.config.Config.conn ~kind:Net.Packet.Data
       ~seq ~size:t.config.Config.data_size ~src:t.config.Config.src_host
@@ -211,18 +215,20 @@ let on_ack t (p : Net.Packet.t) =
     (* New data acknowledged. *)
     (match t.timing with
      | Some (seq, sent_at) when ackno > seq ->
-       Rto.sample t.rto (now t -. sent_at);
+       let rtt = now t -. sent_at in
+       Rto.sample t.rto rtt;
+       Cc.on_rtt_sample t.cc ~rtt;
        t.timing <- None
      | _ -> ());
     Rto.reset_backoff t.rto;
+    let newly = ackno - t.snd_una in
     t.snd_una <- ackno;
     (* A cumulative ACK during go-back-N recovery can overtake snd_nxt
        (the receiver had buffered the packets above the hole); never send
        below snd_una again. *)
     if t.snd_nxt < t.snd_una then t.snd_nxt <- t.snd_una;
     t.dup_acks <- 0;
-    if Cong.in_recovery t.cong then Cong.on_recovery_exit t.cong
-    else Cong.on_ack t.cong;
+    let retransmit_hole = Cc.on_ack t.cc ~ackno ~newly in
     fire_cwnd t;
     if t.snd_una >= t.snd_nxt then cancel_timer t else arm_timer t;
     (match t.config.Config.flow_size with
@@ -232,6 +238,14 @@ let on_ack t (p : Net.Packet.t) =
        let time = now t in
        List.iter (fun f -> f time) t.complete_hooks
      | _ -> ());
+    (* NewReno-style partial ACK: the controller stays in recovery and
+       asks for the next hole to be retransmitted immediately. *)
+    if retransmit_hole && t.snd_una < t.snd_nxt then begin
+      t.timing <- None;  (* Karn: the retransmission makes samples ambiguous *)
+      let old_nxt = t.snd_nxt in
+      send_one t t.snd_una;
+      t.snd_nxt <- max old_nxt (t.snd_una + 1)
+    end;
     try_send t
   end
   else if ackno = t.snd_una && t.snd_nxt > t.snd_una then begin
@@ -242,11 +256,11 @@ let on_ack t (p : Net.Packet.t) =
         handle_loss t Dup_ack
       end
       else if t.dup_acks > t.config.Config.dupack_threshold
-              && Cong.in_recovery t.cong
+              && Cc.in_recovery t.cc
       then begin
         (* Reno: every further duplicate means a packet left the network;
            inflate and possibly transmit new data. *)
-        Cong.on_dup_ack t.cong;
+        Cc.on_dup_ack t.cc;
         fire_cwnd t;
         try_send t
       end

@@ -22,7 +22,10 @@ val start : t -> unit
 val on_ack : t -> Net.Packet.t -> unit
 
 val config : t -> Config.t
-val cong : t -> Cong.t
+
+(** The running congestion-control instance (named by [config.cc]). *)
+val cc : t -> Cc.t
+
 val cwnd : t -> float
 val ssthresh : t -> float
 

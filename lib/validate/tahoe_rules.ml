@@ -85,8 +85,9 @@ let observe_cwnd t ~time ~cwnd ~ssthresh =
 let attach report conn =
   let sender = Tcp.Connection.sender conn in
   let config = Tcp.Sender.config sender in
-  match config.Tcp.Config.algorithm with
-  | Tcp.Cong.Tahoe { modified_ca } ->
+  match config.Tcp.Config.cc.Tcp.Cc.name with
+  | ("tahoe" | "tahoe-unmodified") as name ->
+    let modified_ca = name = "tahoe" in
     let t =
       create report
         ~subject:(Printf.sprintf "conn %d" config.Tcp.Config.conn)
@@ -96,7 +97,8 @@ let attach report conn =
     Tcp.Sender.on_cwnd sender (fun time ~cwnd ~ssthresh ->
         observe_cwnd t ~time ~cwnd ~ssthresh);
     Some t
-  | Tcp.Cong.Reno _ | Tcp.Cong.Fixed _ ->
-    (* Reno's inflation/deflation and fixed windows follow different
-       rules; this checker pins the paper's Tahoe state machine only. *)
+  | _ ->
+    (* Reno's inflation/deflation, fixed windows and the rest of the zoo
+       follow different rules; this checker pins the paper's Tahoe state
+       machine only. *)
     None

@@ -83,6 +83,32 @@ let test_fixed_window () =
   Cong.on_timeout c;
   Alcotest.(check int) "immutable" 30 (Cong.wnd c)
 
+let test_wnd_boundaries () =
+  (* Pin the usable-window clamp at its edges. *)
+  (* A fixed window larger than the advertised maximum must not overrun
+     the receiver (this was once a real bug: Fixed ignored maxwnd). *)
+  let c = Cong.create ~algorithm:(Cong.Fixed 50) ~maxwnd:10 in
+  Alcotest.(check int) "fixed window clamped to maxwnd" 10 (Cong.wnd c);
+  let c = Cong.create ~algorithm:(Cong.Fixed 1) ~maxwnd:2 in
+  Alcotest.(check int) "fixed window below maxwnd untouched" 1 (Cong.wnd c);
+  (* cwnd exactly at maxwnd: wnd is maxwnd itself, not maxwnd - 1. *)
+  let c = tahoe ~maxwnd:8 () in
+  for _ = 1 to 20 do Cong.on_ack c done;
+  Alcotest.(check (float 0.)) "cwnd capped exactly" 8. (Cong.cwnd c);
+  Alcotest.(check int) "wnd = maxwnd at the cap" 8 (Cong.wnd c);
+  (* cwnd at its floor of 1: wnd never reports 0. *)
+  let c = tahoe () in
+  Cong.on_timeout c;
+  Alcotest.(check (float 0.)) "cwnd floor" 1. (Cong.cwnd c);
+  Alcotest.(check int) "wnd floor is 1" 1 (Cong.wnd c);
+  (* fractional cwnd truncates: one CA step past an integer stays put *)
+  let c = tahoe () in
+  Cong.on_ack c;
+  Cong.on_timeout c;
+  Cong.on_ack c;  (* cwnd = 2 = ssthresh, CA from here *)
+  Cong.on_ack c;  (* cwnd = 2.5 *)
+  Alcotest.(check int) "floor of 2.5 is 2" 2 (Cong.wnd c)
+
 let test_reset () =
   let c = tahoe () in
   for _ = 1 to 10 do Cong.on_ack c done;
@@ -139,6 +165,7 @@ let suite =
         test_double_loss_floor;
       Alcotest.test_case "maxwnd cap" `Quick test_maxwnd_cap;
       Alcotest.test_case "fixed window" `Quick test_fixed_window;
+      Alcotest.test_case "wnd boundaries" `Quick test_wnd_boundaries;
       Alcotest.test_case "reset" `Quick test_reset;
       Alcotest.test_case "bad args" `Quick test_bad_args;
       QCheck_alcotest.to_alcotest prop_acceleration;

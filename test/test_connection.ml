@@ -98,7 +98,7 @@ let test_fixed_window_steady_state () =
   in
   Sim.run sim ~until:100.;
   let sender = Connection.sender conn in
-  Alcotest.(check int) "window never moves" 10 (Cong.wnd (Sender.cong sender));
+  Alcotest.(check int) "window never moves" 10 (Tcp.Cc.window (Sender.cc sender));
   Alcotest.(check int) "exactly a window outstanding" 10
     (Sender.outstanding sender);
   Alcotest.(check int) "no retransmissions" 0 (Sender.retransmits sender)

@@ -36,9 +36,9 @@ let test_scenario_stagger () =
 let test_fixed_conn_spec () =
   let c = Core.Scenario.fixed_conn ~window:30 Core.Scenario.Reverse in
   Alcotest.(check bool) "no loss detection" false c.Core.Scenario.loss_detection;
-  (match c.Core.Scenario.algorithm with
-   | Tcp.Cong.Fixed 30 -> ()
-   | _ -> Alcotest.fail "expected Fixed 30");
+  (match c.Core.Scenario.cc with
+   | { Tcp.Cc.name = "fixed"; params = [ ("w", 30.) ] } -> ()
+   | s -> Alcotest.failf "expected fixed:w=30, got %s" (Tcp.Cc.spec_to_string s));
   Alcotest.(check bool) "reverse" true (c.Core.Scenario.dir = Core.Scenario.Reverse)
 
 let test_report_checks () =

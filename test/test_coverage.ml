@@ -189,14 +189,14 @@ let test_plot_empty_window () =
 (* --- Experiment registry -------------------------------------------------- *)
 
 let test_registry_complete () =
-  Alcotest.(check int) "seventeen experiments" 17
+  Alcotest.(check int) "eighteen experiments" 18
     (List.length Core.Experiments.registry);
   List.iter
     (fun name ->
       Alcotest.(check bool) ("find " ^ name) true
         (Core.Experiments.find name <> None))
     [ "fig2"; "fig3"; "fig45"; "fig67"; "fig8"; "fig9"; "conjecture";
-      "buffers"; "delack"; "multihop"; "ablation"; "reno"; "pacing";
+      "buffers"; "delack"; "multihop"; "ablation"; "reno"; "cczoo"; "pacing";
       "gateways"; "collapse"; "rtt"; "formula" ];
   Alcotest.(check bool) "unknown name" true (Core.Experiments.find "nope" = None)
 

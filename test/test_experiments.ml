@@ -53,6 +53,7 @@ let suite =
       case "TAB-MHOP: four-switch chain" Core.Experiments.multihop_table;
       case "TAB-ABL: ablations" Core.Experiments.ablation_table;
       case "TAB-RENO: Reno shows the same modes" Core.Experiments.reno_table;
+      case "TAB-CCZOO: the whole variant zoo" Core.Experiments.cczoo_table;
       case "TAB-PACE: pacing removes the phenomena" Core.Experiments.pacing_table;
       case "TAB-GW: gateway disciplines" Core.Experiments.gateway_table;
       case "TAB-COLLAPSE: fixed-window TCP collapses"

@@ -63,7 +63,7 @@ let test_slow_start_growth () =
   ack 2;
   ack 3;
   (* each ack grows cwnd by 1 and slides the window *)
-  Alcotest.(check int) "cwnd" 4 (Cong.wnd (Sender.cong sender));
+  Alcotest.(check int) "cwnd" 4 (Tcp.Cc.window (Sender.cc sender));
   Alcotest.(check int) "outstanding equals window" 4 (Sender.outstanding sender)
 
 let test_fast_retransmit_at_three_dups () =

@@ -50,6 +50,7 @@ let test_json_special_floats () =
     {
       Sweep.Summary.id = "x\"y";
       params = [ ("a", 1.5) ];
+      cc = "tahoe";
       util_fwd = Float.nan;
       util_bwd = Float.infinity;
       drops_window = 0;
