@@ -464,11 +464,35 @@ let run_sweep_bench () =
     timings;
   (match note with Some s -> Printf.printf "note: %s\n" s | None -> ());
   Printf.printf "output byte-identical across job counts: %b\n" byte_identical;
+  (* Supervision overhead: with no failures, the select/deadline/requeue
+     machinery should be invisible next to any real simulation.  Trivial
+     tasks make the raw dispatch cost per point visible: jobs=2 pays the
+     full supervised pool (fork, frame protocol, select loop), jobs=1 is
+     the plain in-process map. *)
+  let sup_tasks = List.init 512 (fun i -> i) in
+  let sup_time jobs =
+    ignore (Sweep_pool.map ~jobs (fun x -> x) sup_tasks : int list);
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      ignore (Sweep_pool.map ~jobs (fun x -> x) sup_tasks : int list);
+      best := Float.min !best (Unix.gettimeofday () -. t0)
+    done;
+    1e6 *. !best /. float_of_int (List.length sup_tasks)
+  in
+  let sup_seq = sup_time 1 in
+  let sup_pool = sup_time 2 in
+  Printf.printf
+    "supervised dispatch (no failures): %.2f us/point at jobs=2 vs %.3f \
+     us/point in-process\n"
+    sup_pool sup_seq;
   let file = "BENCH_sweep.json" in
   let oc = open_out file in
   Printf.fprintf oc
     "{\n  \"grid\": \"%s\",\n  \"cores\": %d,\n  \"points\": %d,\n\
     \  \"reps\": %d,\n%s  \"runs\": [\n%s\n  ],\n\
+    \  \"supervised_dispatch_us_per_point\": %.3f,\n\
+    \  \"inprocess_dispatch_us_per_point\": %.4f,\n\
     \  \"byte_identical\": %b\n}\n"
     grid.name cores n reps
     (match note with
@@ -481,7 +505,7 @@ let run_sweep_bench () =
               "    {\"jobs\": %d, \"seconds\": %.4f, \"speedup\": %.3f}" j t
               (t1 /. t))
           timings))
-    byte_identical;
+    sup_pool sup_seq byte_identical;
   close_out oc;
   Printf.printf "wrote %s\n" file;
   if byte_identical then 0 else 1

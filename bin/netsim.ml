@@ -7,9 +7,101 @@
      sweep       run a scenario grid across parallel workers
      plot        ASCII queue/cwnd plots of a paper figure
      dump        write every figure's traces as CSV files
-     tracecheck  validate a JSONL event trace produced by run           *)
+     tracecheck  validate a JSONL event trace produced by run
+     replay      re-run a crash bundle and check it reproduces          *)
 
 open Cmdliner
+
+(* Exit codes: 0 ok, 1 validation/point failure, 2 CLI misuse,
+   3 watchdog budget stop, 130 interrupted. *)
+let exit_budget = 3
+let exit_interrupt = 130
+
+(* ---------------- interrupts ---------------- *)
+
+(* Two-stage SIGINT/SIGTERM: the first signal flips [interrupted] — run
+   and sweep poll it cooperatively and shut down with partial results —
+   the second exits hard.  Forked sweep workers inherit the handler (and
+   their own copy of the flag), so they finish their in-flight point,
+   send it, and exit cleanly; only the original process narrates. *)
+let interrupted = ref false
+let original_pid = lazy (Unix.getpid ())
+
+let install_signal_handlers () =
+  let main_pid = Lazy.force original_pid in
+  let handle name _ =
+    if !interrupted then exit exit_interrupt
+    else begin
+      interrupted := true;
+      if Unix.getpid () = main_pid then
+        Printf.eprintf
+          "netsim: %s — stopping cleanly (signal again to abort)\n%!" name
+    end
+  in
+  (try Sys.set_signal Sys.sigint (Sys.Signal_handle (handle "interrupt"))
+   with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigterm (Sys.Signal_handle (handle "termination"))
+   with Invalid_argument _ | Sys_error _ -> ())
+
+(* ---------------- watchdog / bundle flags ---------------- *)
+
+type guard_cli = {
+  max_events : int option;
+  max_wall : float option;
+  bundle_dir : string option;
+}
+
+let guard_term =
+  let max_events =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-events" ] ~docv:"N"
+          ~doc:
+            "Watchdog: stop the simulation after N events (per point for \
+             sweeps) and return the partial result.")
+  in
+  let max_wall =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-wall" ] ~docv:"SECONDS"
+          ~doc:
+            "Watchdog: stop the simulation after SECONDS of wall-clock \
+             time (per point for sweeps) and return the partial result.")
+  in
+  let bundle_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bundle-dir" ] ~docv:"DIR"
+          ~doc:
+            "On a crash, validation violation or watchdog stop, write a \
+             self-contained replayable bundle to DIR/<scenario-name> \
+             (see $(b,netsim replay)).")
+  in
+  let mk max_events max_wall bundle_dir = { max_events; max_wall; bundle_dir } in
+  Term.(const mk $ max_events $ max_wall $ bundle_dir)
+
+let budget_of_guard g =
+  Core.Runner.budget ?max_events:g.max_events ?max_wall:g.max_wall ()
+
+(* Exit-code contribution of an early stop; also narrates it (stderr, so
+   JSON stdout stays pure). *)
+let report_stop (r : Core.Runner.result) =
+  (match r.bundle with
+   | Some path -> Printf.eprintf "crash bundle written: %s\n%!" path
+   | None -> ());
+  match r.stop with
+  | Engine.Sim.Completed -> 0
+  | Engine.Sim.Stop_requested ->
+    Printf.eprintf "run stopped early: %s (partial results above)\n%!"
+      (Engine.Sim.stop_reason_to_string r.stop);
+    exit_interrupt
+  | Engine.Sim.Event_budget _ | Engine.Sim.Wall_budget _ ->
+    Printf.eprintf "run stopped early: %s (partial results above)\n%!"
+      (Engine.Sim.stop_reason_to_string r.stop);
+    exit_budget
 
 let speed_of_quick quick =
   if quick then Core.Experiments.Quick else Core.Experiments.Full
@@ -349,7 +441,7 @@ let metrics_file_json probe =
 
 let run_custom tau buffer fwd rev fixed delack ack_size algorithm cc pacing
     gateway flow_size skew duration warmup csv_dir validate faults_cli
-    obs_cli =
+    obs_cli guard_cli =
   (* [--cc list] prints the registry and exits (usable without any other
      scenario flags). *)
   (match cc with
@@ -425,23 +517,42 @@ let run_custom tau buffer fwd rev fixed delack ack_size algorithm cc pacing
       ?faults:(fault_sites faults_cli)
       ~fault_seed:faults_cli.seed ()
   in
+  install_signal_handlers ();
   let channels = ref [] in
   let obs_setup = obs_setup_of_cli obs_cli ~channels in
-  let r = Core.Runner.run ~obs:obs_setup scenario in
+  (* Flush-and-close the trace channels on every exit path: a crash
+     mid-simulation must still leave a parseable JSONL prefix, never a
+     file torn mid-line by channel buffering. *)
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun oc -> try flush oc; close_out oc with Sys_error _ -> ())
+        !channels)
+  @@ fun () ->
+  let r =
+    Core.Runner.run ~obs:obs_setup
+      ~budget:(budget_of_guard guard_cli)
+      ~stop:(fun () -> !interrupted)
+      ?bundle_dir:guard_cli.bundle_dir scenario
+  in
   (* Runner already finished the probe (chrome footer written). *)
-  List.iter close_out !channels;
   (match (obs_cli.metrics_out, r.obs) with
    | Some file, Some probe ->
      let oc = open_out file in
-     output_string oc (metrics_file_json probe);
-     close_out oc
+     Fun.protect
+       ~finally:(fun () ->
+         try flush oc; close_out oc with Sys_error _ -> ())
+       (fun () -> output_string oc (metrics_file_json probe))
    | _ -> ());
   if obs_cli.json then begin
     print_string (Sweep.Summary.to_json (Sweep.Summary.of_result ~id:"custom" r));
     print_newline ();
-    match Core.Runner.validation_report r with
-    | Some report when not (Validate.Report.is_clean report) -> 1
-    | _ -> 0
+    let stop_exit = report_stop r in
+    if stop_exit <> 0 then stop_exit
+    else
+      match Core.Runner.validation_report r with
+      | Some report when not (Validate.Report.is_clean report) -> 1
+      | _ -> 0
   end
   else begin
   List.iter
@@ -505,7 +616,9 @@ let run_custom tau buffer fwd rev fixed delack ack_size algorithm cc pacing
        (fun file -> Printf.printf "metrics: wrote %s\n" file)
        obs_cli.metrics_out
    | None -> ());
-  report_validation r
+  let validation_exit = report_validation r in
+  let stop_exit = report_stop r in
+  if stop_exit <> 0 then stop_exit else validation_exit
   end
 
 let fixed_conv =
@@ -624,13 +737,14 @@ let run_cmd =
     Term.(
       const run_custom $ tau $ buffer $ fwd $ rev $ fixed $ delack $ ack_size
       $ algorithm $ cc $ pacing $ gateway $ flow_size $ skew $ duration
-      $ warmup $ csv $ validate_flag $ fault_term $ obs_term)
+      $ warmup $ csv $ validate_flag $ fault_term $ obs_term $ guard_term)
 
 (* ---------------- sweep ---------------- *)
 
 let grid_names = List.map (fun (g : Sweep.Grids.spec) -> g.name) Sweep.Grids.all
 
-let run_sweep grid_name jobs out quick list_grids =
+let run_sweep grid_name jobs out quick list_grids max_retries worker_timeout
+    guard_cli =
   if list_grids then begin
     List.iter
       (fun (g : Sweep.Grids.spec) -> Printf.printf "%-14s %s\n" g.name g.title)
@@ -645,23 +759,62 @@ let run_sweep grid_name jobs out quick list_grids =
         ^ String.concat ", " grid_names);
       2
     | Some grid ->
+      install_signal_handlers ();
       let points = grid.points ~quick in
       let started = Unix.gettimeofday () in
-      let summaries = Sweep.Driver.run ~jobs points in
+      let outcome =
+        Sweep.Driver.run_collect ~jobs ~max_retries ?deadline:worker_timeout
+          ~on_failure:(fun f ->
+            Printf.eprintf "netsim sweep: %s\n%!"
+              (Sweep_pool.worker_failure_to_string f))
+          ~stop:(fun () -> !interrupted)
+          ~budget:(budget_of_guard guard_cli)
+          ?bundle_dir:guard_cli.bundle_dir points
+      in
       let elapsed = Unix.gettimeofday () -. started in
-      Sweep.Driver.print_table summaries;
-      (* Timing goes to stdout only — the JSON must be a pure function
-         of the grid so --jobs N output diffs clean against --jobs 1. *)
-      Printf.printf "%d points in %.2fs with %d job(s)\n" (List.length points)
-        elapsed (max 1 jobs);
-      (match out with
-       | None -> ()
-       | Some file ->
-         let oc = open_out file in
-         output_string oc (Sweep.Driver.to_json summaries);
-         close_out oc;
-         Printf.printf "wrote %s\n" file);
-      0
+      List.iter
+        (fun (pf : Sweep_pool.point_failure) ->
+          Printf.eprintf "netsim sweep: point %d failed: %s\n%!" pf.point
+            pf.exn_text)
+        outcome.point_failures;
+      let completed =
+        List.filter_map Fun.id (Array.to_list outcome.results)
+      in
+      if outcome.interrupted then begin
+        (* Partial summary: whatever finished before the signal. *)
+        Sweep.Driver.print_table completed;
+        Printf.printf "interrupted: %d of %d points completed in %.2fs\n"
+          (List.length completed) (List.length points) elapsed;
+        exit_interrupt
+      end
+      else if
+        outcome.point_failures <> []
+        || List.length completed <> List.length points
+      then begin
+        Sweep.Driver.print_table completed;
+        Printf.eprintf "netsim sweep: %d of %d points failed\n%!"
+          (List.length points - List.length completed)
+          (List.length points);
+        1
+      end
+      else begin
+        let summaries = completed in
+        Sweep.Driver.print_table summaries;
+        (* Timing goes to stdout only — the JSON must be a pure function
+           of the grid so --jobs N output diffs clean against --jobs 1. *)
+        Printf.printf "%d points in %.2fs with %d job(s)\n"
+          (List.length points) elapsed (max 1 jobs);
+        (match out with
+         | None -> ()
+         | Some file ->
+           let oc = open_out file in
+           Fun.protect
+             ~finally:(fun () ->
+               try flush oc; close_out oc with Sys_error _ -> ())
+             (fun () -> output_string oc (Sweep.Driver.to_json summaries));
+           Printf.printf "wrote %s\n" file);
+        0
+      end
 
 let sweep_cmd =
   let grid_arg =
@@ -689,11 +842,31 @@ let sweep_cmd =
   let list_grids =
     Arg.(value & flag & info [ "list" ] ~doc:"List available grids and exit.")
   in
+  let max_retries =
+    Arg.(
+      value & opt int 2
+      & info [ "max-retries" ] ~docv:"N"
+          ~doc:
+            "Respawn a crashed or hung worker's unfinished points up to N \
+             times before falling back to in-process sequential \
+             execution.  Never changes results, only where they are \
+             computed.")
+  in
+  let worker_timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "worker-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Treat a worker silent for SECONDS as hung: kill and respawn \
+             it (counts against $(b,--max-retries)).")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Run a scenario grid across parallel workers.")
     Term.(
-      const run_sweep $ grid_arg $ jobs $ out $ quick_flag $ list_grids)
+      const run_sweep $ grid_arg $ jobs $ out $ quick_flag $ list_grids
+      $ max_retries $ worker_timeout $ guard_term)
 
 (* ---------------- plot ---------------- *)
 
@@ -825,12 +998,101 @@ let tracecheck_cmd =
           object and timestamps never go backwards.")
     Term.(const run_tracecheck $ file_arg $ key)
 
+(* ---------------- replay ---------------- *)
+
+(* Re-instantiate a crash bundle's scenario and check the failure
+   reproduces.  The scenario value carries every seed, so the replay is
+   deterministic:
+   - exception bundles: run to the horizon, expect the same exception;
+   - validation bundles: run with validation on, expect the same summary;
+   - budget/interrupt bundles: re-run with [max_events] pinned to the
+     original's event count (event counts are deterministic even when the
+     original stop was wall-clock or a signal) and expect the stop at the
+     same event count and simulated time. *)
+let run_replay dir =
+  match Core.Crash.load dir with
+  | Error msg ->
+    Printf.eprintf "replay: %s: %s\n" dir msg;
+    2
+  | Ok (scenario, meta) ->
+    Printf.printf "replaying %s\n  scenario: %s\n  kind: %s\n  reason: %s\n"
+      dir meta.scenario_name meta.kind meta.reason;
+    let ok fmt = Printf.ksprintf (fun s -> Printf.printf "replay OK: %s\n" s; 0) fmt in
+    let mismatch fmt =
+      Printf.ksprintf (fun s -> Printf.printf "replay MISMATCH: %s\n" s; 1) fmt
+    in
+    if meta.kind = Core.Crash.kind_exception then begin
+      match Core.Runner.run scenario with
+      | (_ : Core.Runner.result) ->
+        mismatch "run completed; original raised %s"
+          (Option.value ~default:"<unknown>" meta.exn_text)
+      | exception exn ->
+        let text = Printexc.to_string exn in
+        (match meta.exn_text with
+         | Some orig when orig = text -> ok "reproduced exception %s" text
+         | Some orig -> mismatch "raised %s; original raised %s" text orig
+         | None -> mismatch "raised %s; original exception text missing" text)
+    end
+    else if meta.kind = Core.Crash.kind_validation then begin
+      let scenario = { scenario with Core.Scenario.validate = true } in
+      let r = Core.Runner.run scenario in
+      match Core.Runner.validation_report r with
+      | Some report when not (Validate.Report.is_clean report) -> (
+        let summary = Validate.Report.summary report in
+        match meta.validation with
+        | Some orig when orig = summary ->
+          ok "reproduced validation failure: %s" summary
+        | Some orig -> mismatch "validation %s; original %s" summary orig
+        | None -> mismatch "validation %s; original summary missing" summary)
+      | _ ->
+        mismatch "validation clean; original failed with %s"
+          (Option.value ~default:"<unknown>" meta.validation)
+    end
+    else begin
+      (* event-budget / wall-budget / interrupt *)
+      let budget = Core.Runner.budget ~max_events:meta.events_run () in
+      let r = Core.Runner.run ~budget scenario in
+      match r.stop with
+      | Engine.Sim.Event_budget ran when ran = meta.events_run ->
+        let now = r.t1 in
+        if meta.sim_now >= scenario.Core.Scenario.warmup && now <> meta.sim_now
+        then
+          mismatch "stopped after %d events but at t=%.9g; original t=%.9g"
+            ran now meta.sim_now
+        else ok "stopped after %d events at t=%.9g, as recorded" ran now
+      | Engine.Sim.Completed ->
+        mismatch "run completed within %d events; original stopped early"
+          meta.events_run
+      | other ->
+        mismatch "stopped with %s; expected an event budget of %d"
+          (Engine.Sim.stop_reason_to_string other)
+          meta.events_run
+    end
+
+let replay_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BUNDLE"
+          ~doc:"Crash-bundle directory written via $(b,--bundle-dir).")
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-run a crash bundle deterministically and verify the recorded \
+          failure reproduces (exit 0 on match, 1 on mismatch).")
+    Term.(const run_replay $ dir_arg)
+
 let main =
   Cmd.group
     (Cmd.info "netsim" ~version:"1.0.0"
        ~doc:
          "Dynamics of the BSD 4.3-Tahoe TCP congestion control algorithm \
           under two-way traffic (Zhang, Shenker & Clark, SIGCOMM '91).")
-    [ experiment_cmd; run_cmd; sweep_cmd; plot_cmd; dump_cmd; tracecheck_cmd ]
+    [
+      experiment_cmd; run_cmd; sweep_cmd; plot_cmd; dump_cmd; tracecheck_cmd;
+      replay_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

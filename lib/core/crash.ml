@@ -1,0 +1,164 @@
+(* Crash bundles: the semantic layer over [Obs.Bundle].
+
+   A bundle captures everything needed to re-instantiate a failed or
+   budget-killed run deterministically: the full scenario value
+   (Marshal — Scenario.t is plain data, including CC specs, RTO params,
+   discipline kind and fault specs, and carries every seed), plus a
+   meta.json describing what happened (kind, reason, exception text and
+   backtrace, engine counters, budgets).  [netsim replay] loads the
+   bundle, re-runs the scenario and checks the outcome matches. *)
+
+type meta = {
+  scenario_name : string;
+  kind : string;
+  reason : string;
+  exn_text : string option;
+  backtrace : string option;
+  validation : string option;
+  events_run : int;
+  queue_length : int;
+  sim_now : float;
+  max_events : int option;
+  max_wall : float option;
+}
+
+let format_tag = "netsim-bundle-v1"
+
+let kind_exception = "exception"
+let kind_validation = "validation"
+let kind_event_budget = "event-budget"
+let kind_wall_budget = "wall-budget"
+let kind_interrupt = "interrupt"
+
+let kind_of_stop (reason : Engine.Sim.stop_reason) =
+  match reason with
+  | Engine.Sim.Completed -> invalid_arg "Crash.kind_of_stop: Completed"
+  | Engine.Sim.Event_budget _ -> kind_event_budget
+  | Engine.Sim.Wall_budget _ -> kind_wall_budget
+  | Engine.Sim.Stop_requested -> kind_interrupt
+
+(* ------------------------------------------------------------------ *)
+(* meta.json rendering / parsing                                       *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let str_or_null = function
+  | None -> "null"
+  | Some s -> "\"" ^ escape s ^ "\""
+
+let int_or_null = function
+  | None -> "null"
+  | Some i -> string_of_int i
+
+let float_or_null = function
+  | None -> "null"
+  | Some f -> Printf.sprintf "%.9g" f
+
+let meta_to_json m =
+  Printf.sprintf
+    "{\"format\":\"%s\",\"scenario\":\"%s\",\"kind\":\"%s\",\
+     \"reason\":\"%s\",\"exn\":%s,\"backtrace\":%s,\"validation\":%s,\
+     \"events_run\":%d,\"queue_length\":%d,\"sim_now\":%.17g,\
+     \"max_events\":%s,\"max_wall\":%s}\n"
+    format_tag (escape m.scenario_name) (escape m.kind) (escape m.reason)
+    (str_or_null m.exn_text)
+    (str_or_null m.backtrace)
+    (str_or_null m.validation)
+    m.events_run m.queue_length m.sim_now
+    (int_or_null m.max_events)
+    (float_or_null m.max_wall)
+
+let meta_of_json text =
+  match Obs.Json.parse text with
+  | Error msg -> Error ("meta.json: " ^ msg)
+  | Ok json -> (
+    let str k = Option.bind (Obs.Json.member k json) Obs.Json.to_string in
+    let num k = Option.bind (Obs.Json.member k json) Obs.Json.to_float in
+    match str "format" with
+    | Some tag when tag = format_tag -> (
+      match (str "scenario", str "kind", str "reason") with
+      | Some scenario_name, Some kind, Some reason ->
+        Ok
+          {
+            scenario_name;
+            kind;
+            reason;
+            exn_text = str "exn";
+            backtrace = str "backtrace";
+            validation = str "validation";
+            events_run =
+              (match num "events_run" with
+               | Some f -> int_of_float f
+               | None -> 0);
+            queue_length =
+              (match num "queue_length" with
+               | Some f -> int_of_float f
+               | None -> 0);
+            sim_now = (match num "sim_now" with Some f -> f | None -> 0.);
+            max_events = Option.map int_of_float (num "max_events");
+            max_wall = num "max_wall";
+          }
+      | _ -> Error "meta.json: missing scenario/kind/reason")
+    | Some tag -> Error ("meta.json: unknown format " ^ tag)
+    | None -> Error "meta.json: missing format tag")
+
+(* ------------------------------------------------------------------ *)
+(* Write / load                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let bundle_path ~dir (scenario : Scenario.t) =
+  Filename.concat dir scenario.name
+
+let write ~dir ~(scenario : Scenario.t) ~sim ~kind ~reason ?exn_text
+    ?backtrace ?validation ?flight ?metrics_json ?max_events ?max_wall () =
+  let meta =
+    {
+      scenario_name = scenario.name;
+      kind;
+      reason;
+      exn_text;
+      backtrace;
+      validation;
+      events_run = Engine.Sim.events_run sim;
+      queue_length = Engine.Sim.queue_length sim;
+      sim_now = Engine.Sim.now sim;
+      max_events;
+      max_wall;
+    }
+  in
+  match Marshal.to_string scenario [] with
+  | exception e ->
+    Error ("scenario not marshalable: " ^ Printexc.to_string e)
+  | blob ->
+    Obs.Bundle.write
+      ~dir:(bundle_path ~dir scenario)
+      ~meta_json:(meta_to_json meta) ~scenario_blob:blob ?flight
+      ~flight_reason:("crash bundle: " ^ reason)
+      ?metrics_json ()
+
+let load dir =
+  match Obs.Bundle.load ~dir with
+  | Error _ as e -> e
+  | Ok (meta_json, blob) -> (
+    match meta_of_json meta_json with
+    | Error _ as e -> e
+    | Ok meta -> (
+      match (Marshal.from_string blob 0 : Scenario.t) with
+      | exception e ->
+        Error ("scenario.bin: " ^ Printexc.to_string e)
+      | scenario -> Ok (scenario, meta)))

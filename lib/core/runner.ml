@@ -1,3 +1,13 @@
+(* Watchdog budgets, enforced from inside the event loop via
+   [Sim.run_guarded].  [no_budget] (and no [stop] predicate) keeps the
+   plain [Sim.run] hot path — zero supervision overhead for unbudgeted
+   runs. *)
+type budget = { max_events : int option; max_wall : float option }
+
+let no_budget = { max_events = None; max_wall = None }
+
+let budget ?max_events ?max_wall () = { max_events; max_wall }
+
 type result = {
   scenario : Scenario.t;
   dumbbell : Net.Topology.dumbbell;
@@ -18,6 +28,8 @@ type result = {
   validation : Validate.Harness.t option;
   fault_plans : (Scenario.fault_site * Faults.Plan.t) list;
   obs : Obs.Probe.t option;
+  stop : Engine.Sim.stop_reason;
+  bundle : string option;
 }
 
 (* NETSIM_VALIDATE=1 (any value but "" / "0") forces validation on for
@@ -41,7 +53,8 @@ let connection_config (d : Net.Topology.dumbbell) ~conn_id
     ~rto_params:spec.rto_params ~pacing:spec.pacing ~rtt_skew:spec.rtt_skew
     ~flow_size:spec.flow_size ()
 
-let run ?(obs = Obs.Probe.disabled) (scenario : Scenario.t) =
+let run ?(obs = Obs.Probe.disabled) ?(budget = no_budget) ?stop ?bundle_dir
+    (scenario : Scenario.t) =
   let sim = Engine.Sim.create () in
   let params = Net.Topology.params ~gateway:scenario.gateway ~tau:scenario.tau
       ~buffer:scenario.buffer () in
@@ -122,47 +135,113 @@ let run ?(obs = Obs.Probe.disabled) (scenario : Scenario.t) =
              delivered_at_warmup.(i) <- Tcp.Connection.delivered c)
            conns)
       : Engine.Sim.handle);
-  (try Engine.Sim.run sim ~until:scenario.duration
-   with exn ->
-     (* Salvage the postmortem before the exception unwinds the run. *)
-     (match obs with
-      | Some probe ->
-        Obs.Probe.dump_flight probe
-          ~reason:
-            (Printf.sprintf "Sim.run raised %s" (Printexc.to_string exn));
-        Obs.Probe.finish probe
-      | None -> ());
-     raise exn);
+  (* Crash-bundle plumbing: best-effort, first write wins (an exception
+     bundle is not overwritten by a later validation bundle). *)
+  let bundle = ref None in
+  let write_bundle ~kind ~reason ?exn_text ?backtrace ?validation () =
+    match bundle_dir with
+    | None -> ()
+    | Some dir ->
+      if !bundle = None then (
+        match
+          Crash.write ~dir ~scenario ~sim ~kind ~reason ?exn_text ?backtrace
+            ?validation
+            ?flight:(Option.bind obs Obs.Probe.flight)
+            ?metrics_json:(Option.map Obs.Probe.metrics_json obs)
+            ?max_events:budget.max_events ?max_wall:budget.max_wall ()
+        with
+        | Ok path -> bundle := Some path
+        | Error msg ->
+          Printf.eprintf "netsim: failed to write crash bundle for %s: %s\n%!"
+            scenario.name msg)
+  in
+  let guarded =
+    budget.max_events <> None || budget.max_wall <> None || Option.is_some stop
+  in
+  let stop_reason =
+    try
+      if guarded then
+        Engine.Sim.run_guarded sim ~until:scenario.duration
+          ?max_events:budget.max_events ?max_wall:budget.max_wall
+          ~wall_clock:Unix.gettimeofday ?stop ()
+      else begin
+        Engine.Sim.run sim ~until:scenario.duration;
+        Engine.Sim.Completed
+      end
+    with exn ->
+      (* Salvage the postmortem before the exception unwinds the run. *)
+      let bt = Printexc.get_raw_backtrace () in
+      let exn_text = Printexc.to_string exn in
+      (match obs with
+       | Some probe ->
+         Obs.Probe.dump_flight probe
+           ~reason:(Printf.sprintf "Sim.run raised %s" exn_text)
+       | None -> ());
+      write_bundle ~kind:Crash.kind_exception
+        ~reason:("Sim.run raised " ^ exn_text)
+        ~exn_text
+        ~backtrace:(Printexc.raw_backtrace_to_string bt)
+        ();
+      (match obs with Some probe -> Obs.Probe.finish probe | None -> ());
+      Printexc.raise_with_backtrace exn bt
+  in
+  let stopped_early = stop_reason <> Engine.Sim.Completed in
   let now = Engine.Sim.now sim in
+  let validation_summary = ref None in
   (match validation with
    | None -> ()
    | Some harness ->
      let report = Validate.Harness.finalize harness ~now in
      if not (Validate.Report.is_clean report) then begin
+       validation_summary := Some (Validate.Report.summary report);
        (* An invariant violation means the simulation itself cannot be
           trusted; always say so loudly. *)
        prerr_endline
          (Printf.sprintf "netsim validation FAILED for scenario %s:"
             scenario.name);
-       prerr_endline (Validate.Report.to_string report);
-       if env_forces_validation () && not scenario.validate then
-         failwith
-           (Printf.sprintf "validation failed for scenario %s: %s"
-              scenario.name
-              (Validate.Report.summary report))
+       prerr_endline (Validate.Report.to_string report)
      end);
+  (* Bundle on any bad ending: a watchdog stop (tagged with its reason,
+     and with the validation verdict when there is one) or a validation
+     violation on a completed run. *)
+  if stopped_early then
+    write_bundle
+      ~kind:(Crash.kind_of_stop stop_reason)
+      ~reason:(Engine.Sim.stop_reason_to_string stop_reason)
+      ?validation:!validation_summary ()
+  else (
+    match !validation_summary with
+    | Some summary ->
+      write_bundle ~kind:Crash.kind_validation
+        ~reason:("validation failed: " ^ summary)
+        ~validation:summary ()
+    | None -> ());
+  (match !validation_summary with
+   | Some summary when env_forces_validation () && not scenario.validate ->
+     failwith
+       (Printf.sprintf "validation failed for scenario %s: %s" scenario.name
+          summary)
+   | _ -> ());
   (match obs with Some probe -> Obs.Probe.finish probe | None -> ());
   let util_fwd, util_bwd =
     match !meters with
     | Some (fwd, bwd) ->
       ( Trace.Util_meter.utilization fwd ~now,
         Trace.Util_meter.utilization bwd ~now )
-    | None -> failwith "Runner: warmup event never fired"
+    | None ->
+      (* A run stopped before the warmup event has no measurement
+         window; report zeros rather than failing the salvage. *)
+      if stopped_early then (0., 0.)
+      else failwith "Runner: warmup event never fired"
   in
   let delivered =
-    Array.mapi
-      (fun i (_spec, c) -> Tcp.Connection.delivered c - delivered_at_warmup.(i))
-      conns
+    match !meters with
+    | None -> Array.make (Array.length conns) 0
+    | Some _ ->
+      Array.mapi
+        (fun i (_spec, c) ->
+          Tcp.Connection.delivered c - delivered_at_warmup.(i))
+        conns
   in
   {
     scenario;
@@ -179,11 +258,15 @@ let run ?(obs = Obs.Probe.disabled) (scenario : Scenario.t) =
     util_fwd;
     util_bwd;
     t0 = scenario.warmup;
-    t1 = scenario.duration;
+    t1 =
+      (if stopped_early then Float.max scenario.warmup now
+       else scenario.duration);
     delivered;
     validation;
     fault_plans;
     obs;
+    stop = stop_reason;
+    bundle = !bundle;
   }
 
 let validation_report r =

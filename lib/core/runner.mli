@@ -1,6 +1,17 @@
 (** Builds a {!Scenario} into a live network, runs it, and collects the
     traces and summary metrics every experiment needs. *)
 
+(** Watchdog budgets enforced from inside the event loop (see
+    {!Engine.Sim.run_guarded}).  [max_events] bounds the number of events
+    executed; [max_wall] bounds wall-clock seconds (measured with
+    [Unix.gettimeofday], polled every 1024 events). *)
+type budget = { max_events : int option; max_wall : float option }
+
+(** No budgets: the run uses the plain [Sim.run] hot path. *)
+val no_budget : budget
+
+val budget : ?max_events:int -> ?max_wall:float -> unit -> budget
+
 type result = {
   scenario : Scenario.t;
   dumbbell : Net.Topology.dumbbell;
@@ -28,6 +39,12 @@ type result = {
   obs : Obs.Probe.t option;
       (** the attached observability probe, when [run] was given an
           enabled setup *)
+  stop : Engine.Sim.stop_reason;
+      (** [Completed], or why a watchdog stopped the run early; an
+          early-stopped result is partial ([t1] is the stop time and
+          metered quantities cover only the elapsed window) *)
+  bundle : string option;
+      (** path of the crash bundle written for this run, if any *)
 }
 
 (** Build and run to completion.  When validation is enabled the
@@ -41,8 +58,29 @@ type result = {
     is one (first violation dumps the flight ring), and finished (trace
     outputs closed) when the run ends — including when [Sim.run]
     raises, in which case the flight ring is dumped first and the
-    exception re-raised. *)
-val run : ?obs:Obs.Probe.setup -> Scenario.t -> result
+    exception re-raised.
+
+    [budget] (default {!no_budget}) and [stop] (an externally-settable
+    cancel predicate, e.g. a SIGINT flag) switch the run onto
+    {!Engine.Sim.run_guarded}: the run then ends either at the horizon
+    or at the first exceeded budget / observed stop request, returning a
+    partial result tagged with its {!Engine.Sim.stop_reason} instead of
+    raising.  A run stopped before warm-up reports zero utilization and
+    deliveries.
+
+    [bundle_dir] arms crash bundles: on a [Sim.run] exception, a
+    validation violation, or an early watchdog stop, a self-contained
+    replayable bundle is written to [bundle_dir/<scenario-name>] (see
+    {!Crash}) and its path returned in [result.bundle].  Bundle writes
+    are best-effort — a failed write warns on stderr and never masks
+    the original failure. *)
+val run :
+  ?obs:Obs.Probe.setup ->
+  ?budget:budget ->
+  ?stop:(unit -> bool) ->
+  ?bundle_dir:string ->
+  Scenario.t ->
+  result
 
 (** The finalized validation report, if validation was enabled. *)
 val validation_report : result -> Validate.Report.t option

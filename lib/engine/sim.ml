@@ -295,6 +295,79 @@ let run t ~until =
      lands exactly on the horizon. *)
   t.clock.(0) <- until
 
+(* ------------------------------------------------------------------ *)
+(* Guarded execution (watchdogs)                                       *)
+(* ------------------------------------------------------------------ *)
+
+type stop_reason =
+  | Completed
+  | Event_budget of int
+  | Wall_budget of float
+  | Stop_requested
+
+let stop_reason_to_string = function
+  | Completed -> "completed"
+  | Event_budget n -> Printf.sprintf "event budget exhausted (%d events)" n
+  | Wall_budget s -> Printf.sprintf "wall-clock budget exhausted (%.3gs)" s
+  | Stop_requested -> "stop requested"
+
+(* Wall clock and stop predicate are polled once per [guard_mask + 1]
+   events (~0.2 ms of hot-path work); the event budget is a single int
+   compare so it is checked every iteration.  This loop is deliberately
+   separate from [run]: unbudgeted runs keep the untouched hot path. *)
+let guard_mask = 1023
+
+let run_guarded t ~until ?max_events ?max_wall ?(wall_clock = Sys.time)
+    ?(stop = fun () -> false) () =
+  if Float.is_nan until then invalid_arg "Sim.run_guarded: NaN horizon";
+  if until < t.clock.(0) then
+    invalid_arg
+      (Printf.sprintf "Sim.run_guarded: horizon %g is before current time %g"
+         until t.clock.(0));
+  let wall0 = match max_wall with Some _ -> wall_clock () | None -> 0. in
+  let executed0 = t.executed in
+  let reason = ref Completed in
+  let continue = ref true in
+  while !continue do
+    if t.size = 0 then continue := false
+    else begin
+      let time = t.times.(0) in
+      if time > until then continue := false
+      else begin
+        let ran = t.executed - executed0 in
+        (match max_events with
+         | Some m when ran >= m ->
+           reason := Event_budget ran;
+           continue := false
+         | _ -> ());
+        if !continue && ran land guard_mask = 0 then
+          if stop () then begin
+            reason := Stop_requested;
+            continue := false
+          end
+          else (
+            match max_wall with
+            | Some w ->
+              let elapsed = wall_clock () -. wall0 in
+              if elapsed > w then begin
+                reason := Wall_budget elapsed;
+                continue := false
+              end
+            | None -> ());
+        if !continue then begin
+          let tm = pop_min t in
+          t.clock.(0) <- time;
+          execute t tm
+        end
+      end
+    end
+  done;
+  (* On completion the clock lands exactly on the horizon, as in [run];
+     on an early stop it stays at the last executed event so the partial
+     state is internally consistent and the run can be resumed. *)
+  if !reason = Completed then t.clock.(0) <- until;
+  !reason
+
 let run_to_completion t =
   while t.size > 0 do
     let time = t.times.(0) in

@@ -105,6 +105,51 @@ val run : t -> until:float -> unit
     diverges if events keep scheduling more events forever. *)
 val run_to_completion : t -> unit
 
+(** {2 Guarded execution (watchdogs)}
+
+    [run_guarded] is [run] with budgets enforced from inside the event
+    loop, so a runaway simulation terminates gracefully instead of
+    hanging its process.  It is a separate loop: unbudgeted callers of
+    {!run} keep the untouched allocation-free hot path. *)
+
+(** Why a guarded run returned. *)
+type stop_reason =
+  | Completed  (** queue drained or horizon reached — same as {!run} *)
+  | Event_budget of int  (** [max_events] reached; payload = events run *)
+  | Wall_budget of float
+      (** [max_wall] exceeded; payload = elapsed wall seconds *)
+  | Stop_requested  (** the [stop] predicate returned [true] *)
+
+val stop_reason_to_string : stop_reason -> string
+
+(** [run_guarded t ~until ?max_events ?max_wall ?wall_clock ?stop ()]
+    runs events as {!run} does, returning the reason it stopped.
+
+    - [max_events]: execute at most this many events {e in this call}.
+    - [max_wall]: stop once [wall_clock () - start] exceeds this many
+      seconds.  [wall_clock] defaults to [Sys.time] (process CPU time);
+      pass [Unix.gettimeofday] for wall time — the engine itself stays
+      Unix-free.
+    - [stop]: cooperative cancellation, polled (like the wall clock)
+      every 1024 events.
+
+    On [Completed] the clock lands exactly on [until], as in {!run}; on
+    any early stop it stays at the last executed event's time, the
+    remaining events stay queued, and the run can be resumed by calling
+    [run] or [run_guarded] again.  Event and wall budgets count from
+    this call's start, so a resumed run gets a fresh budget.
+    @raise Invalid_argument if [until] is before the current time or
+    NaN. *)
+val run_guarded :
+  t ->
+  until:float ->
+  ?max_events:int ->
+  ?max_wall:float ->
+  ?wall_clock:(unit -> float) ->
+  ?stop:(unit -> bool) ->
+  unit ->
+  stop_reason
+
 (** Execute a single event if one is pending at or before [until].
     Returns [false] when nothing was run. *)
 val step : t -> until:float -> bool

@@ -1,0 +1,38 @@
+(** Crash-bundle file plumbing.
+
+    A bundle is a plain directory:
+    {v
+    <dir>/meta.json      what happened (rendered by the caller)
+    <dir>/scenario.bin   opaque scenario blob (Marshal, by the caller)
+    <dir>/flight.txt     flight-recorder postmortem (optional)
+    <dir>/metrics.json   final metrics snapshot (optional)
+    v}
+
+    This module moves bytes; the semantic layer (meta rendering,
+    scenario marshaling, replay) is [Core.Crash] and [netsim replay].
+    Writes are best-effort: every failure comes back as [Error] so a
+    failed postmortem never masks the crash being reported. *)
+
+val meta_file : string
+val scenario_file : string
+val flight_file : string
+val metrics_file : string
+
+(** Write a bundle into [dir] (created, parents included, if needed;
+    existing files are overwritten — bundle naming is the caller's
+    concern).  [flight_reason] labels the flight dump banner. *)
+val write :
+  dir:string ->
+  meta_json:string ->
+  scenario_blob:string ->
+  ?flight:Flight.t ->
+  ?flight_reason:string ->
+  ?metrics_json:string ->
+  unit ->
+  (string, string) result
+
+(** [(meta_json, scenario_blob)] of the bundle at [dir]. *)
+val load : dir:string -> (string * string, string) result
+
+val load_meta : dir:string -> (string, string) result
+val load_scenario_blob : dir:string -> (string, string) result

@@ -160,3 +160,16 @@ let finish t =
     t.finished <- true;
     match t.chrome with None -> () | Some write -> write "\n]}\n"
   end
+
+let with_file_sink path f =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Flush-and-close even when [f] raises: channel buffering cuts
+         lines at arbitrary byte boundaries, so an unflushed buffer at
+         abort time would leave a torn JSONL file. *)
+      try
+        flush oc;
+        close_out oc
+      with Sys_error _ -> ())
+    (fun () -> f (output_string oc))

@@ -34,3 +34,10 @@ val flight : t -> Flight.t option
 (** Write the Chrome file's closing bracket.  Idempotent; JSONL needs no
     finalization. *)
 val finish : t -> unit
+
+(** [with_file_sink path f] opens [path], passes [output_string oc] to
+    [f], and — via [Fun.protect] — flushes and closes the channel on
+    every exit path, including exceptions.  A traced run that crashes
+    mid-simulation therefore leaves a parseable JSONL prefix (whole
+    lines), never a file torn mid-line by channel buffering. *)
+val with_file_sink : string -> (sink -> 'a) -> 'a

@@ -14,13 +14,23 @@ let point ?id ?(params = []) scenario =
    cheap); the snapshot rides the summary across the worker pipe as plain
    data.  Tracing stays off — sinks are closures and could not cross the
    pipe anyway. *)
-let run_point p =
+let run_point ?budget ?bundle_dir p =
   Summary.of_result ~id:p.id ~params:p.params
-    (Core.Runner.run ~obs:(Obs.Probe.setup ()) p.scenario)
+    (Core.Runner.run ~obs:(Obs.Probe.setup ()) ?budget ?bundle_dir p.scenario)
 
-let run ?jobs points =
+let run ?jobs ?max_retries ?backoff ?deadline ?on_failure ?budget ?bundle_dir
+    points =
   let jobs = match jobs with Some j -> j | None -> Sweep_pool.default_jobs () in
-  Sweep_pool.map ~jobs run_point points
+  Sweep_pool.map ~jobs ?max_retries ?backoff ?deadline ?on_failure
+    (run_point ?budget ?bundle_dir)
+    points
+
+let run_collect ?jobs ?max_retries ?backoff ?deadline ?on_failure ?stop ?budget
+    ?bundle_dir points =
+  let jobs = match jobs with Some j -> j | None -> Sweep_pool.default_jobs () in
+  Sweep_pool.map_collect ~jobs ?max_retries ?backoff ?deadline ?on_failure ?stop
+    (run_point ?budget ?bundle_dir)
+    points
 
 let to_json = Summary.list_to_json
 

@@ -7,7 +7,11 @@
     depends only on its scenario (every RNG is seeded from scenario
     configuration — the fault seed, the discipline seed — never from the
     worker process, wall clock or job count), and {!Sweep_pool.map}
-    reassembles summaries by point index, not completion order. *)
+    reassembles summaries by point index, not completion order.  The
+    supervision layer preserves this: crashed or hung workers are
+    respawned and their unfinished points retried (or, past the retry
+    budget, run sequentially in-process), so the output stays
+    byte-identical under any worker kill pattern. *)
 
 type point = {
   id : string;  (** label in tables and JSON (defaults to scenario name) *)
@@ -18,14 +22,47 @@ type point = {
 val point :
   ?id:string -> ?params:(string * float) list -> Core.Scenario.t -> point
 
-(** Run one point in-process. *)
-val run_point : point -> Summary.t
+(** Run one point in-process.  [budget] and [bundle_dir] are passed to
+    {!Core.Runner.run}: a budgeted point yields a partial summary when a
+    watchdog fires, and [bundle_dir] arms crash bundles for the point. *)
+val run_point :
+  ?budget:Core.Runner.budget -> ?bundle_dir:string -> point -> Summary.t
 
 (** Run every point; summaries are returned in point order.  [jobs]
     defaults to {!Sweep_pool.default_jobs} (the [NETSIM_JOBS] variable,
-    else 1).
-    @raise Failure if a worker process fails. *)
-val run : ?jobs:int -> point list -> Summary.t list
+    else 1).  [max_retries], [deadline] and [on_failure] configure the
+    supervised pool (see {!Sweep_pool.map}); [budget] / [bundle_dir] are
+    applied per point.
+    @raise Sweep_pool.Error when points remain missing or failed after
+    every retry and the sequential fallback. *)
+val run :
+  ?jobs:int ->
+  ?max_retries:int ->
+  ?backoff:float ->
+  ?deadline:float ->
+  ?on_failure:(Sweep_pool.worker_failure -> unit) ->
+  ?budget:Core.Runner.budget ->
+  ?bundle_dir:string ->
+  point list ->
+  Summary.t list
+
+(** Like {!run} but never raises on point failures: returns the full
+    {!Sweep_pool.outcome} (per-point results, worker/point failure
+    ledgers, interrupt flag).  [stop] is polled between points and by
+    the pool's supervision loop — when it returns [true] the sweep
+    drains in-flight points and returns a partial outcome with
+    [interrupted = true]. *)
+val run_collect :
+  ?jobs:int ->
+  ?max_retries:int ->
+  ?backoff:float ->
+  ?deadline:float ->
+  ?on_failure:(Sweep_pool.worker_failure -> unit) ->
+  ?stop:(unit -> bool) ->
+  ?budget:Core.Runner.budget ->
+  ?bundle_dir:string ->
+  point list ->
+  Summary.t Sweep_pool.outcome
 
 (** {!Summary.list_to_json}. *)
 val to_json : Summary.t list -> string

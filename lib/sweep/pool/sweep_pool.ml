@@ -1,16 +1,38 @@
-(* Deterministic fork/pipe/Marshal worker pool.
+(* Supervised, deterministic fork/pipe/Marshal worker pool.
 
    [map ~jobs f xs] computes [List.map f xs], fanning the work out to
    [jobs] forked worker processes.  Results are bit-identical regardless
-   of the job count because the *assignment* of work to workers never
-   affects a result: task [i] is always [f xs.(i)] computed in a process
-   whose heap is a fork-time copy of the parent, every per-task RNG in
-   this codebase is seeded from the task itself (the scenario), and the
-   parent reassembles results by task index, not arrival order.
+   of the job count — and regardless of which workers crash — because
+   the *assignment* of work to workers never affects a result: task [i]
+   is always [f xs.(i)] computed in a process whose heap is a fork-time
+   copy of the parent, every per-task RNG in this codebase is seeded
+   from the task itself (the scenario), and the parent reassembles
+   results by task index, not arrival order.
+
+   Supervision model (see DESIGN.md, "Failure model & supervision"):
+
+   - Each worker streams one length-prefixed Marshal frame back per
+     completed point, then a final done marker.  The parent multiplexes
+     every worker pipe through [Unix.select], decoding frames
+     incrementally, so a completed point is banked the moment its frame
+     lands — a worker that dies later loses only its *unfinished*
+     points.
+   - A crashed worker (non-zero exit, signal), a worker whose stream is
+     truncated or undecodable mid-frame, and a worker that stays silent
+     past the [deadline] are all detected individually and classified
+     (see {!cause}).  Their unfinished point indices are requeued to a
+     freshly forked worker, with exponential backoff between attempts.
+   - A point whose [f] *raises* is not retried (the computation is
+     deterministic, so a retry would raise identically); the exception
+     text and backtrace cross the pipe as a frame and surface in
+     {!Error}.
+   - After [max_retries] respawns, the pool degrades gracefully: the
+     still-missing points run sequentially in the parent process, in
+     ascending index order.
 
    Workers are plain [Unix.fork] + a pipe back to the parent (works on
-   both OCaml 4.14 and 5.x single-domain programs; no threads/domains may
-   be running when [map] forks).  On non-Unix platforms, or with
+   both OCaml 4.14 and 5.x single-domain programs; no threads/domains
+   may be running when [map] forks).  On non-Unix platforms, or with
    [jobs <= 1], the computation simply runs sequentially in-process. *)
 
 let default_jobs () =
@@ -38,105 +60,565 @@ let cores () =
     max 1 !n
   with Sys_error _ -> 1
 
-(* What a worker ships back: its strided slice of results, or the reason
-   it failed.  ['b] must be marshalable (plain data, no closures). *)
-type 'b transfer = Results of (int * 'b) list | Worker_error of string
+(* ------------------------------------------------------------------ *)
+(* Failure taxonomy                                                    *)
+(* ------------------------------------------------------------------ *)
 
-let write_all fd s =
-  let len = String.length s in
-  let rec loop off =
-    if off < len then
-      let n = Unix.write_substring fd s off (len - off) in
-      loop (off + n)
-  in
-  loop 0
+type cause =
+  | Exited of int
+  | Signaled of int
+  | Stopped of int
+  | Corrupt_stream of string
+  | Timed_out of float
+  | Spawn_failed of string
 
-let read_all fd =
-  let buf = Buffer.create 65536 in
-  let chunk = Bytes.create 65536 in
-  let rec loop () =
-    let n = Unix.read fd chunk 0 (Bytes.length chunk) in
-    if n > 0 then begin
-      Buffer.add_subbytes buf chunk 0 n;
-      loop ()
-    end
-  in
-  loop ();
+type worker_failure = {
+  worker : int;
+  pid : int;
+  attempt : int;
+  cause : cause;
+  salvaged : int list;
+  lost : int list;
+}
+
+type point_failure = { point : int; exn_text : string; backtrace : string }
+
+type error = {
+  message : string;
+  worker_failures : worker_failure list;
+  point_failures : point_failure list;
+}
+
+exception Error of error
+
+(* Waitpid reports OCaml's own signal numbering (Sys.sigkill = -7 …);
+   name the common ones rather than leak the encoding. *)
+let signal_name s =
+  if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigint then "SIGINT"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigabrt then "SIGABRT"
+  else if s = Sys.sigpipe then "SIGPIPE"
+  else if s = Sys.sigstop then "SIGSTOP"
+  else Printf.sprintf "signal %d (ocaml numbering)" s
+
+let cause_to_string = function
+  | Exited c -> Printf.sprintf "exited with code %d" c
+  | Signaled s -> Printf.sprintf "killed by %s" (signal_name s)
+  | Stopped s -> Printf.sprintf "stopped by %s" (signal_name s)
+  | Corrupt_stream msg -> "corrupt result stream (" ^ msg ^ ")"
+  | Timed_out d -> Printf.sprintf "produced no output for %.3gs (deadline)" d
+  | Spawn_failed msg -> "could not be spawned (" ^ msg ^ ")"
+
+let indices_to_string is =
+  "[" ^ String.concat "," (List.map string_of_int is) ^ "]"
+
+let worker_failure_to_string (w : worker_failure) =
+  Printf.sprintf
+    "worker %d (pid %d, attempt %d) %s; salvaged points %s, lost points %s"
+    w.worker w.pid w.attempt (cause_to_string w.cause)
+    (indices_to_string w.salvaged)
+    (indices_to_string w.lost)
+
+let error_to_string (e : error) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("Sweep_pool: " ^ e.message);
+  List.iter
+    (fun w -> Buffer.add_string buf ("\n  " ^ worker_failure_to_string w))
+    e.worker_failures;
+  List.iter
+    (fun (p : point_failure) ->
+      Buffer.add_string buf
+        (Printf.sprintf "\n  point %d raised %s" p.point p.exn_text))
+    e.point_failures;
   Buffer.contents buf
 
-let map ?(jobs = 1) f xs =
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (error_to_string e)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos hooks (tests / CI only)                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic failure injection for the supervision machinery itself:
+   NETSIM_CHAOS_KILL_AFTER=n      worker SIGKILLs itself after sending n
+                                  frames (n=0: before sending anything)
+   NETSIM_CHAOS_TRUNCATE_AFTER=n  worker writes a torn frame after n good
+                                  ones, then exits 0
+   Both apply to first-attempt workers only, so respawned workers succeed
+   and the requeue path is exercised — unless NETSIM_CHAOS_ALL_ATTEMPTS=1,
+   which makes every forked attempt fail (exercising retry exhaustion and
+   the sequential fallback, which runs in the parent and is never subject
+   to chaos).  Read per [map] call so tests can toggle via putenv. *)
+type chaos = {
+  kill_after : int option;
+  truncate_after : int option;
+  all_attempts : bool;
+}
+
+let read_chaos () =
+  let geti v = Option.bind (Sys.getenv_opt v) int_of_string_opt in
+  {
+    kill_after = geti "NETSIM_CHAOS_KILL_AFTER";
+    truncate_after = geti "NETSIM_CHAOS_TRUNCATE_AFTER";
+    all_attempts =
+      (match Sys.getenv_opt "NETSIM_CHAOS_ALL_ATTEMPTS" with
+       | Some ("1" | "true") -> true
+       | _ -> false);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Wire format: 8-byte big-endian length header + Marshal payload      *)
+(* ------------------------------------------------------------------ *)
+
+type 'b frame =
+  | F_point of int * 'b
+  | F_exn of int * string * string  (* index, exception text, backtrace *)
+  | F_done
+
+(* A frame bigger than this is necessarily garbage (a summary is a few
+   KB); treating it as corruption keeps a bad header from making the
+   parent wait forever for data that will never come. *)
+let max_frame_bytes = 1 lsl 30
+
+let write_all_bytes fd b off len =
+  let rec loop off len =
+    if len > 0 then begin
+      let n =
+        try Unix.write fd b off len
+        with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      in
+      loop (off + n) (len - n)
+    end
+  in
+  loop off len
+
+let send_frame fd payload =
+  let body = Marshal.to_string payload [] in
+  let len = String.length body in
+  let hdr = Bytes.create 8 in
+  Bytes.set_int64_be hdr 0 (Int64.of_int len);
+  write_all_bytes fd hdr 0 8;
+  write_all_bytes fd (Bytes.unsafe_of_string body) 0 len
+
+(* Incremental frame decoder: bytes accumulate in [buf.(0..len)], and
+   complete frames are peeled off the front. *)
+type decoder = { mutable buf : Bytes.t; mutable len : int }
+
+let decoder_create () = { buf = Bytes.create 65536; len = 0 }
+
+let decoder_feed d chunk n =
+  let need = d.len + n in
+  if need > Bytes.length d.buf then begin
+    let ncap = max need (2 * Bytes.length d.buf) in
+    let nbuf = Bytes.create ncap in
+    Bytes.blit d.buf 0 nbuf 0 d.len;
+    d.buf <- nbuf
+  end;
+  Bytes.blit chunk 0 d.buf d.len n;
+  d.len <- need
+
+exception Corrupt of string
+
+(* Next complete frame body, [None] if more bytes are needed.
+   @raise Corrupt on an impossible length header. *)
+let decoder_next d =
+  if d.len < 8 then None
+  else begin
+    let size = Int64.to_int (Bytes.get_int64_be d.buf 0) in
+    if size < 0 || size > max_frame_bytes then
+      raise (Corrupt (Printf.sprintf "frame header claims %d bytes" size));
+    if d.len < 8 + size then None
+    else begin
+      let body = Bytes.sub_string d.buf 8 size in
+      Bytes.blit d.buf (8 + size) d.buf 0 (d.len - 8 - size);
+      d.len <- d.len - 8 - size;
+      Some body
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Worker side                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_applies chaos ~attempt = attempt = 0 || chaos.all_attempts
+
+(* Runs in the forked child; never returns. *)
+let worker_body ~wr ~f ~tasks ~indices ~attempt ~chaos ~stop =
+  let sent = ref 0 in
+  let truncate_and_die () =
+    (* A torn frame: a header promising 4096 bytes followed by 4. *)
+    let hdr = Bytes.create 12 in
+    Bytes.set_int64_be hdr 0 4096L;
+    write_all_bytes wr hdr 0 12;
+    (try Unix.close wr with Unix.Unix_error _ -> ());
+    Unix._exit 0
+  in
+  let chaos_step () =
+    if chaos_applies chaos ~attempt then begin
+      (match chaos.kill_after with
+       | Some n when !sent >= n -> Unix.kill (Unix.getpid ()) Sys.sigkill
+       | _ -> ());
+      match chaos.truncate_after with
+      | Some n when !sent >= n -> truncate_and_die ()
+      | _ -> ()
+    end
+  in
+  (try
+     chaos_step ();
+     List.iter
+       (fun i ->
+         (* A stop request (e.g. SIGINT shared with the parent) finishes
+            the in-flight point and abandons the rest; the parent knows
+            not to requeue them. *)
+         if not (stop ()) then begin
+           let frame =
+             match f tasks.(i) with
+             | r -> F_point (i, r)
+             | exception e ->
+               F_exn (i, Printexc.to_string e, Printexc.get_backtrace ())
+           in
+           (try send_frame wr frame
+            with e ->
+              (* An unmarshalable result is a per-point failure, not a
+                 worker crash. *)
+              send_frame wr
+                (F_exn
+                   ( i,
+                     "unmarshalable result: " ^ Printexc.to_string e,
+                     "" )));
+           incr sent;
+           chaos_step ()
+         end)
+       indices;
+     send_frame wr F_done
+   with _ -> ());
+  (try Unix.close wr with Unix.Unix_error _ -> ());
+  (* _exit, not exit: at_exit in a fork child would re-flush the parent's
+     channels and run its cleanup a second time. *)
+  Unix._exit 0
+
+(* ------------------------------------------------------------------ *)
+(* Parent side                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type child = {
+  slot : int;  (* stable worker index, for reporting *)
+  pid : int;
+  fd : Unix.file_descr;
+  dec : decoder;
+  attempt : int;
+  mutable assigned : int list;  (* point indices still unaccounted for *)
+  mutable salvaged : int list;  (* completed here, newest first *)
+  mutable got_done : bool;
+  mutable last_heard : float;
+  mutable timed_out : float option;
+  mutable corrupt : string option;
+}
+
+type 'b outcome = {
+  results : 'b option array;
+  worker_failures : worker_failure list;
+  point_failures : point_failure list;
+  interrupted : bool;
+}
+
+let select_tick = 0.25 (* s; bounds stop-poll and respawn latency *)
+
+let map_collect ?(jobs = 1) ?(max_retries = 2) ?(backoff = 0.05) ?deadline
+    ?(on_failure = fun _ -> ()) ?(stop = fun () -> false) f xs =
   let tasks = Array.of_list xs in
   let n = Array.length tasks in
+  let results = Array.make n None in
+  let point_failures = ref [] in
+  let worker_failures = ref [] in
+  let interrupted = ref false in
+  let poisoned = Hashtbl.create 8 in
+  let record_point_failure pf =
+    Hashtbl.replace poisoned pf.point ();
+    point_failures := pf :: !point_failures
+  in
+  let run_seq indices =
+    List.iter
+      (fun i ->
+        if stop () then interrupted := true
+        else
+          match results.(i) with
+          | Some _ -> ()
+          | None ->
+            if not (Hashtbl.mem poisoned i) then (
+              match f tasks.(i) with
+              | r -> results.(i) <- Some r
+              | exception e ->
+                record_point_failure
+                  {
+                    point = i;
+                    exn_text = Printexc.to_string e;
+                    backtrace = Printexc.get_backtrace ();
+                  }))
+      indices
+  in
   let jobs = min jobs n in
-  if jobs <= 1 || Sys.os_type <> "Unix" then List.map f xs
+  if jobs <= 1 || Sys.os_type <> "Unix" then begin
+    run_seq (List.init n Fun.id);
+    {
+      results;
+      worker_failures = [];
+      point_failures = List.rev !point_failures;
+      interrupted = !interrupted;
+    }
+  end
   else begin
-    (* Anything buffered before the fork would be flushed once per
-       process; push it out first. *)
+    (* Anything buffered before a fork would be flushed once per process;
+       push it out first. *)
     flush stdout;
     flush stderr;
-    let spawn w =
-      let rd, wr = Unix.pipe () in
-      match Unix.fork () with
-      | 0 ->
-        Unix.close rd;
-        (* Worker [w] owns the strided slice w, w+jobs, w+2*jobs, ...
-           Striding (rather than chunking) balances grids whose points
-           get systematically slower along one axis. *)
-        let payload =
-          try
-            let acc = ref [] in
-            let i = ref w in
-            while !i < n do
-              acc := (!i, f tasks.(!i)) :: !acc;
-              i := !i + jobs
-            done;
-            Results !acc
-          with e -> Worker_error (Printexc.to_string e)
+    let chaos = read_chaos () in
+    let children = ref [] in
+    let respawns = ref [] in  (* (due_time, slot, attempt, indices) *)
+    let spawn ~slot ~attempt indices =
+      let spawn_failed msg =
+        let fail =
+          {
+            worker = slot;
+            pid = -1;
+            attempt;
+            cause = Spawn_failed msg;
+            salvaged = [];
+            lost = indices;
+          }
         in
-        let encoded =
-          try Marshal.to_string payload []
-          with e ->
-            Marshal.to_string
-              (Worker_error ("unmarshalable result: " ^ Printexc.to_string e))
-              []
-        in
-        write_all wr encoded;
-        Unix.close wr;
-        (* _exit, not exit: at_exit in a fork child would re-flush the
-           parent's channels and run its cleanup a second time. *)
-        Unix._exit 0
-      | pid ->
-        Unix.close wr;
-        (pid, rd)
+        worker_failures := fail :: !worker_failures;
+        on_failure fail
+        (* No process to supervise; the points stay unaccounted for and
+           the post-loop scan runs them in-process. *)
+      in
+      match Unix.pipe () with
+      | exception Unix.Unix_error (e, _, _) ->
+        spawn_failed (Unix.error_message e)
+      | rd, wr -> (
+        match Unix.fork () with
+        | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close rd with Unix.Unix_error _ -> ());
+          (try Unix.close wr with Unix.Unix_error _ -> ());
+          spawn_failed (Unix.error_message e)
+        | 0 ->
+          (try Unix.close rd with Unix.Unix_error _ -> ());
+          (* Close inherited read ends of sibling pipes: fd hygiene only
+             (pipe EOF depends on write ends, which the parent closed). *)
+          List.iter
+            (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ())
+            !children;
+          worker_body ~wr ~f ~tasks ~indices ~attempt ~chaos ~stop
+        | pid ->
+          (try Unix.close wr with Unix.Unix_error _ -> ());
+          children :=
+            {
+              slot;
+              pid;
+              fd = rd;
+              dec = decoder_create ();
+              attempt;
+              assigned = indices;
+              salvaged = [];
+              got_done = false;
+              last_heard = Unix.gettimeofday ();
+              timed_out = None;
+              corrupt = None;
+            }
+            :: !children)
     in
-    let children = List.init jobs spawn in
-    let results = Array.make n None in
-    let errors = ref [] in
-    List.iter
-      (fun (pid, rd) ->
-        let raw = read_all rd in
-        Unix.close rd;
-        let _, status = Unix.waitpid [] pid in
-        (match status with
-         | Unix.WEXITED 0 -> ()
-         | Unix.WEXITED c ->
-           errors := Printf.sprintf "worker exited with code %d" c :: !errors
-         | Unix.WSIGNALED s ->
-           errors := Printf.sprintf "worker killed by signal %d" s :: !errors
-         | Unix.WSTOPPED _ -> errors := "worker stopped" :: !errors);
-        if raw = "" then errors := "worker produced no output" :: !errors
-        else
-          match (Marshal.from_string raw 0 : _ transfer) with
-          | Results rs -> List.iter (fun (i, r) -> results.(i) <- Some r) rs
-          | Worker_error msg -> errors := msg :: !errors)
-      children;
-    (match List.rev !errors with
-     | [] -> ()
-     | msg :: _ -> failwith ("Sweep_pool.map: worker failed: " ^ msg));
-    Array.to_list
-      (Array.map
-         (function
-           | Some r -> r
-           | None -> failwith "Sweep_pool.map: worker returned no result")
-         results)
+    let handle_frame child body =
+      match (Marshal.from_string body 0 : _ frame) with
+      | F_point (i, r) ->
+        results.(i) <- Some r;
+        child.assigned <- List.filter (fun j -> j <> i) child.assigned;
+        child.salvaged <- i :: child.salvaged
+      | F_exn (i, exn_text, backtrace) ->
+        record_point_failure { point = i; exn_text; backtrace };
+        child.assigned <- List.filter (fun j -> j <> i) child.assigned
+      | F_done -> child.got_done <- true
+      | exception e -> raise (Corrupt (Printexc.to_string e))
+    in
+    let finalize child =
+      (try Unix.close child.fd with Unix.Unix_error _ -> ());
+      let _, status = Unix.waitpid [] child.pid in
+      children := List.filter (fun c -> c != child) !children;
+      let leftover = child.dec.len in
+      let stopping = stop () in
+      let clean =
+        child.corrupt = None && child.timed_out = None && child.got_done
+        && leftover = 0
+        && (child.assigned = [] || stopping)
+        && status = Unix.WEXITED 0
+      in
+      if not clean then begin
+        let cause =
+          match (child.corrupt, child.timed_out) with
+          | Some msg, _ -> Corrupt_stream msg
+          | None, Some d -> Timed_out d
+          | None, None -> (
+            match status with
+            | Unix.WEXITED 0 ->
+              if leftover > 0 then
+                Corrupt_stream
+                  (Printf.sprintf "EOF mid-frame, %d undecoded byte(s)"
+                     leftover)
+              else Corrupt_stream "stream ended before the done marker"
+            | Unix.WEXITED c -> Exited c
+            | Unix.WSIGNALED s -> Signaled s
+            | Unix.WSTOPPED s -> Stopped s)
+        in
+        let lost = List.sort compare child.assigned in
+        let fail =
+          {
+            worker = child.slot;
+            pid = child.pid;
+            attempt = child.attempt;
+            cause;
+            salvaged = List.rev child.salvaged;
+            lost;
+          }
+        in
+        worker_failures := fail :: !worker_failures;
+        on_failure fail;
+        if (not stopping) && lost <> [] then begin
+          let attempt = child.attempt + 1 in
+          (* Past the retry budget the points stay unaccounted for; the
+             post-loop scan degrades to in-process execution. *)
+          if attempt <= max_retries then begin
+            let delay = backoff *. (2. ** float_of_int child.attempt) in
+            respawns :=
+              (Unix.gettimeofday () +. delay, child.slot, attempt, lost)
+              :: !respawns
+          end
+        end
+      end
+    in
+    let chunk = Bytes.create 65536 in
+    let service child =
+      match Unix.read child.fd chunk 0 (Bytes.length chunk) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | 0 -> finalize child
+      | nread ->
+        child.last_heard <- Unix.gettimeofday ();
+        if child.corrupt = None then begin
+          decoder_feed child.dec chunk nread;
+          try
+            let continue = ref true in
+            while !continue do
+              match decoder_next child.dec with
+              | Some body -> handle_frame child body
+              | None -> continue := false
+            done
+          with Corrupt msg ->
+            (* Stop trusting this stream; kill the worker and let the
+               EOF path classify + requeue. *)
+            child.corrupt <- Some msg;
+            (try Unix.kill child.pid Sys.sigkill
+             with Unix.Unix_error _ -> ())
+        end
+    in
+    (* Initial strided assignment, like the unsupervised pool: worker [w]
+       owns w, w+jobs, w+2*jobs, ...  Striding (rather than chunking)
+       balances grids whose points get systematically slower along one
+       axis. *)
+    for w = 0 to jobs - 1 do
+      let indices = ref [] in
+      let i = ref w in
+      while !i < n do
+        indices := !i :: !indices;
+        i := !i + jobs
+      done;
+      spawn ~slot:w ~attempt:0 (List.rev !indices)
+    done;
+    (* Supervision loop: drain pipes, reap the dead, respawn the due.
+       On a stop request we stop respawning but keep draining — workers
+       sharing the stop signal finish their in-flight point and exit, and
+       those final frames are worth collecting. *)
+    while !children <> [] || ((not (stop ())) && !respawns <> []) do
+      let now = Unix.gettimeofday () in
+      let due, later = List.partition (fun (t, _, _, _) -> t <= now) !respawns in
+      respawns := later;
+      if not (stop ()) then
+        List.iter (fun (_, slot, attempt, idxs) -> spawn ~slot ~attempt idxs) due
+      ;
+      if !children = [] then
+        (if !respawns <> [] then
+           let next = List.fold_left (fun acc (t, _, _, _) -> Float.min acc t)
+               infinity !respawns in
+           let pause = Float.min select_tick (Float.max 0. (next -. now)) in
+           if pause > 0. then ignore (Unix.select [] [] [] pause))
+      else begin
+        let fds = List.map (fun c -> c.fd) !children in
+        (match Unix.select fds [] [] select_tick with
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+         | ready, _, _ ->
+           List.iter
+             (fun fd ->
+               match List.find_opt (fun c -> c.fd = fd) !children with
+               | Some child -> service child
+               | None -> ())
+             ready);
+        (* Per-worker inactivity deadline. *)
+        match deadline with
+        | None -> ()
+        | Some d ->
+          let now = Unix.gettimeofday () in
+          List.iter
+            (fun c ->
+              if now -. c.last_heard > d && c.timed_out = None then begin
+                c.timed_out <- Some d;
+                try Unix.kill c.pid Sys.sigkill with Unix.Unix_error _ -> ()
+              end)
+            !children
+      end
+    done;
+    if stop () then interrupted := true
+    else begin
+      (* Graceful degradation: any point that never made it back — retry
+         budget exhausted, spawn failure — runs in-process, in order. *)
+      let missing = ref [] in
+      for i = n - 1 downto 0 do
+        match results.(i) with
+        | Some _ -> ()
+        | None -> if not (Hashtbl.mem poisoned i) then missing := i :: !missing
+      done;
+      run_seq !missing
+    end;
+    {
+      results;
+      worker_failures = List.rev !worker_failures;
+      point_failures =
+        List.sort (fun a b -> compare a.point b.point) !point_failures;
+      interrupted = !interrupted;
+    }
   end
+
+let map ?jobs ?max_retries ?backoff ?deadline ?on_failure f xs =
+  let o = map_collect ?jobs ?max_retries ?backoff ?deadline ?on_failure f xs in
+  let missing = ref [] in
+  for i = Array.length o.results - 1 downto 0 do
+    match o.results.(i) with
+    | Some _ -> ()
+    | None -> missing := i :: !missing
+  done;
+  if o.point_failures <> [] || !missing <> [] then
+    raise
+      (Error
+         {
+           message =
+             (match o.point_failures with
+              | [] ->
+                Printf.sprintf "no result for point(s) %s"
+                  (indices_to_string !missing)
+              | pfs ->
+                Printf.sprintf "%d point(s) raised" (List.length pfs));
+           worker_failures = o.worker_failures;
+           point_failures = o.point_failures;
+         });
+  Array.to_list
+    (Array.map (function Some r -> r | None -> assert false) o.results)

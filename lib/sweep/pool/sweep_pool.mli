@@ -1,27 +1,132 @@
-(** Deterministic fork/pipe/Marshal worker pool — the process-level layer
-    of the scenario-sweep subsystem ({!Sweep}).
+(** Supervised, deterministic fork/pipe/Marshal worker pool — the
+    process-level layer of the scenario-sweep subsystem ({!Sweep}).
 
     {2 Determinism}
 
-    [map ~jobs f xs] returns exactly [List.map f xs] for any [jobs]: task
-    [i] is always computed as [f xs.(i)] in a fork-time copy of the
-    parent heap, and the parent reassembles results by task index.  As
-    long as [f] itself is deterministic (every RNG in this repo is seeded
-    from its scenario, never from the process or worker), the results are
-    bit-identical regardless of the job count. *)
+    [map ~jobs f xs] returns exactly [List.map f xs] for any [jobs] —
+    and under any worker kill pattern: task [i] is always computed as
+    [f xs.(i)] in a fork-time copy of the parent heap (or, after the
+    retry budget, in the parent itself), and the parent reassembles
+    results by task index.  As long as [f] itself is deterministic
+    (every RNG in this repo is seeded from its scenario, never from the
+    process or worker), the results are bit-identical regardless of the
+    job count or of which workers crashed along the way.
 
-(** [map ~jobs f xs] is [List.map f xs], computed by [jobs] forked worker
-    processes (strided assignment: worker [w] handles tasks
-    [w, w+jobs, ...]).
+    {2 Supervision}
 
-    ['b] must be marshalable plain data — no closures, no custom blocks.
-    Runs sequentially in-process when [jobs <= 1], when there is at most
-    one task, or on non-Unix platforms.  Do not call with other threads
-    or domains running (fork).
+    Workers stream one length-prefixed [Marshal] frame back per
+    completed task; the parent multiplexes the pipes through
+    [Unix.select], so a worker that dies loses only its unfinished
+    tasks.  Crashed (exit/signal), hung (per-worker [deadline]) and
+    corrupt-stream (truncated or undecodable frame) workers are
+    detected individually; their unfinished task indices are requeued
+    to respawned workers with exponential backoff ([backoff],
+    [backoff*2], ...), and after [max_retries] respawns the pool
+    degrades to running just the missing tasks sequentially in-process.
+    A task whose [f] {e raises} is never retried — the computation is
+    deterministic — and surfaces in {!Error} with its exception text
+    and backtrace.
 
-    @raise Failure if a worker dies or raises; the first worker error is
-    reported. *)
-val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+    For testing the supervision machinery itself, the
+    [NETSIM_CHAOS_KILL_AFTER] / [NETSIM_CHAOS_TRUNCATE_AFTER] /
+    [NETSIM_CHAOS_ALL_ATTEMPTS] environment variables make workers
+    deterministically self-destruct (see DESIGN.md, "Failure model &
+    supervision"). *)
+
+(** Why a worker process failed. *)
+type cause =
+  | Exited of int  (** exited with a non-zero code *)
+  | Signaled of int  (** killed by a signal (e.g. SIGKILL = 9) *)
+  | Stopped of int
+  | Corrupt_stream of string
+      (** truncated or undecodable frame; EOF mid-frame *)
+  | Timed_out of float  (** silent past the per-worker deadline (s) *)
+  | Spawn_failed of string  (** [pipe]/[fork] failed; never forked *)
+
+type worker_failure = {
+  worker : int;  (** stable worker slot (0-based) *)
+  pid : int;  (** [-1] when the worker never forked *)
+  attempt : int;  (** 0 = initial spawn, 1.. = respawns *)
+  cause : cause;
+  salvaged : int list;  (** task indices completed before the failure *)
+  lost : int list;  (** unfinished task indices (requeued), ascending *)
+}
+
+(** A task whose [f] raised (in a worker or in the sequential
+    fallback). *)
+type point_failure = { point : int; exn_text : string; backtrace : string }
+
+type error = {
+  message : string;
+  worker_failures : worker_failure list;  (** chronological *)
+  point_failures : point_failure list;  (** ascending by task index *)
+}
+
+(** Raised by {!map} when any task is unaccounted for or raised; a
+    printer is registered, so [Printexc.to_string] renders the full
+    per-worker / per-point detail. *)
+exception Error of error
+
+val cause_to_string : cause -> string
+val worker_failure_to_string : worker_failure -> string
+val error_to_string : error -> string
+
+(** [map ~jobs f xs] is [List.map f xs], computed by up to [jobs]
+    supervised worker processes (strided assignment: worker [w] starts
+    with tasks [w, w+jobs, ...]).
+
+    ['b] must be marshalable plain data — no closures, no custom
+    blocks.  Runs sequentially in-process when [jobs <= 1], when there
+    is at most one task, or on non-Unix platforms.  Do not call with
+    other threads or domains running (fork).
+
+    - [max_retries] (default 2): respawns granted per lost task before
+      the sequential fallback takes over.
+    - [backoff] (default 0.05 s): delay before the first respawn;
+      doubles per attempt.
+    - [deadline]: kill a worker silent for this many wall seconds
+      (default: wait forever).
+    - [on_failure]: called on every classified worker failure, e.g. to
+      log to stderr.  Must not write to stdout in deterministic-output
+      contexts.
+
+    @raise Error when a task raised or remained unaccounted for. *)
+val map :
+  ?jobs:int ->
+  ?max_retries:int ->
+  ?backoff:float ->
+  ?deadline:float ->
+  ?on_failure:(worker_failure -> unit) ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
+
+(** Everything {!map} learned, without raising. *)
+type 'b outcome = {
+  results : 'b option array;
+      (** by task index; [None] = interrupted before completion or the
+          task raised (see [point_failures]) *)
+  worker_failures : worker_failure list;
+  point_failures : point_failure list;
+  interrupted : bool;  (** the [stop] predicate fired *)
+}
+
+(** Like {!map}, but returns partial results instead of raising, and
+    honours a cooperative [stop] predicate: when it flips to [true] the
+    pool stops assigning work (workers sharing the flag — e.g. via an
+    inherited signal handler — finish their in-flight task, whose
+    result is still collected) and returns with [interrupted = true].
+    The sequential fallback also polls [stop] between tasks. *)
+val map_collect :
+  ?jobs:int ->
+  ?max_retries:int ->
+  ?backoff:float ->
+  ?deadline:float ->
+  ?on_failure:(worker_failure -> unit) ->
+  ?stop:(unit -> bool) ->
+  ('a -> 'b) ->
+  'a list ->
+  'b outcome
 
 (** Job count from the [NETSIM_JOBS] environment variable; [1] when the
     variable is unset, empty or not a positive integer. *)

@@ -1,0 +1,320 @@
+(* Robustness layer: run watchdogs ([Sim.run_guarded] budgets and stop
+   requests, surfaced through [Runner.run]), crash bundles (write / load
+   / deterministic replay), and the flush-and-close guarantee for trace
+   sinks.  The sweep-pool supervision tests live in test_sweep.ml. *)
+
+(* Schedule [count] events, each scheduling the next — a cascade long
+   enough to cross several 1024-event guard windows. *)
+let cascade sim ~dt ~count =
+  let n = ref 0 in
+  let rec step () =
+    incr n;
+    if !n < count then
+      ignore (Engine.Sim.schedule sim ~delay:dt step : Engine.Sim.handle)
+  in
+  ignore (Engine.Sim.schedule sim ~delay:dt step : Engine.Sim.handle)
+
+let stop_reason =
+  Alcotest.testable
+    (fun ppf r -> Format.pp_print_string ppf (Engine.Sim.stop_reason_to_string r))
+    (fun a b -> a = b)
+
+(* ---------------- Sim.run_guarded ---------------- *)
+
+let test_guarded_completes () =
+  let sim = Engine.Sim.create () in
+  cascade sim ~dt:0.5 ~count:10;
+  Alcotest.check stop_reason "no budget completes" Engine.Sim.Completed
+    (Engine.Sim.run_guarded sim ~until:100. ());
+  Alcotest.(check int) "all events ran" 10 (Engine.Sim.events_run sim);
+  Alcotest.(check (float 0.)) "clock lands on the horizon" 100.
+    (Engine.Sim.now sim)
+
+let test_guarded_event_budget_and_resume () =
+  let sim = Engine.Sim.create () in
+  cascade sim ~dt:0.001 ~count:5000;
+  (match Engine.Sim.run_guarded sim ~until:1e9 ~max_events:100 () with
+   | Engine.Sim.Event_budget 100 -> ()
+   | r ->
+     Alcotest.failf "expected Event_budget 100, got %s"
+       (Engine.Sim.stop_reason_to_string r));
+  Alcotest.(check int) "exactly 100 events executed" 100
+    (Engine.Sim.events_run sim);
+  Alcotest.(check bool) "clock stays at the last event" true
+    (Engine.Sim.now sim < 1e9);
+  (* The partial state is resumable: finishing without a budget runs the
+     rest of the cascade. *)
+  Alcotest.check stop_reason "resume completes" Engine.Sim.Completed
+    (Engine.Sim.run_guarded sim ~until:1e9 ());
+  Alcotest.(check int) "cascade finished on resume" 5000
+    (Engine.Sim.events_run sim)
+
+let test_guarded_wall_budget_cadence () =
+  let sim = Engine.Sim.create () in
+  cascade sim ~dt:0.001 ~count:3000;
+  (* Fake wall clock: +1 ms per reading.  Checks happen at ran = 0,
+     1024, 2048, …; with a 1.5 ms budget the first reading (1 ms) passes
+     and the second (2 ms) trips, so exactly 1024 events execute. *)
+  let t = ref 0. in
+  let wall_clock () =
+    t := !t +. 0.001;
+    !t
+  in
+  (match
+     Engine.Sim.run_guarded sim ~until:1e9 ~max_wall:0.0015 ~wall_clock ()
+   with
+   | Engine.Sim.Wall_budget _ -> ()
+   | r ->
+     Alcotest.failf "expected Wall_budget, got %s"
+       (Engine.Sim.stop_reason_to_string r));
+  Alcotest.(check int) "stopped at the second guard window" 1024
+    (Engine.Sim.events_run sim)
+
+let test_guarded_stop_request () =
+  let sim = Engine.Sim.create () in
+  cascade sim ~dt:0.5 ~count:10;
+  Alcotest.check stop_reason "stop honoured before the first event"
+    Engine.Sim.Stop_requested
+    (Engine.Sim.run_guarded sim ~until:100. ~stop:(fun () -> true) ());
+  Alcotest.(check int) "no events executed" 0 (Engine.Sim.events_run sim)
+
+let test_guarded_bad_horizon () =
+  let sim = Engine.Sim.create () in
+  cascade sim ~dt:1. ~count:3;
+  ignore (Engine.Sim.run_guarded sim ~until:10. () : Engine.Sim.stop_reason);
+  (match Engine.Sim.run_guarded sim ~until:5. () with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "horizon before current time accepted");
+  match Engine.Sim.run_guarded sim ~until:Float.nan () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "NaN horizon accepted"
+
+(* ---------------- Runner budgets ---------------- *)
+
+let scenario ?(name = "robustness") ?(validate = false) () =
+  Core.Scenario.make ~name ~tau:0.01 ~buffer:(Some 20)
+    ~conns:
+      [
+        Core.Scenario.conn Core.Scenario.Forward;
+        Core.Scenario.conn ~start_time:1. Core.Scenario.Reverse;
+      ]
+    ~duration:30. ~warmup:5. ~validate ()
+
+let test_runner_event_budget () =
+  let r =
+    Core.Runner.run
+      ~budget:(Core.Runner.budget ~max_events:2000 ())
+      (scenario ())
+  in
+  (match r.Core.Runner.stop with
+   | Engine.Sim.Event_budget 2000 -> ()
+   | s ->
+     Alcotest.failf "expected Event_budget 2000, got %s"
+       (Engine.Sim.stop_reason_to_string s));
+  Alcotest.(check bool) "partial window ends before the horizon" true
+    (r.Core.Runner.t1 < 30.);
+  Alcotest.(check bool) "no bundle without --bundle-dir" true
+    (r.Core.Runner.bundle = None)
+
+let test_runner_stop_before_warmup () =
+  let r = Core.Runner.run ~stop:(fun () -> true) (scenario ()) in
+  Alcotest.check stop_reason "stop requested" Engine.Sim.Stop_requested
+    r.Core.Runner.stop;
+  Alcotest.(check (float 0.)) "zero forward utilization" 0.
+    r.Core.Runner.util_fwd;
+  Alcotest.(check (float 0.)) "zero backward utilization" 0.
+    r.Core.Runner.util_bwd;
+  Array.iter
+    (fun d -> Alcotest.(check int) "nothing delivered" 0 d)
+    r.Core.Runner.delivered;
+  Alcotest.(check (float 0.)) "window degenerates to warmup" 5.
+    r.Core.Runner.t1
+
+let test_runner_unbudgeted_result_unchanged () =
+  (* The guarded loop must be invisible: a budget too large to trip
+     yields the same summary bytes as the plain hot path. *)
+  let s = scenario () in
+  let plain = Sweep.Summary.to_json (Sweep.Summary.of_result ~id:"x" (Core.Runner.run s)) in
+  let guarded =
+    Sweep.Summary.to_json
+      (Sweep.Summary.of_result ~id:"x"
+         (Core.Runner.run ~budget:(Core.Runner.budget ~max_events:max_int ()) s))
+  in
+  Alcotest.(check string) "guarded run byte-identical" plain guarded
+
+(* ---------------- crash bundles ---------------- *)
+
+let rec remove_tree path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter
+        (fun entry -> remove_tree (Filename.concat path entry))
+        (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let test_meta_json_roundtrip () =
+  let meta =
+    {
+      Core.Crash.scenario_name = "weird \"name\"\nwith newline";
+      kind = Core.Crash.kind_exception;
+      reason = "Sim.run raised Failure(\"boom\")";
+      exn_text = Some "Failure(\"boom\")";
+      backtrace = Some "Raised at Foo.bar in file \"foo.ml\", line 1\nCalled from Baz.qux";
+      validation = None;
+      events_run = 12345;
+      queue_length = 7;
+      sim_now = 17.25;
+      max_events = Some 99999;
+      max_wall = None;
+    }
+  in
+  match Core.Crash.meta_of_json (Core.Crash.meta_to_json meta) with
+  | Error msg -> Alcotest.fail ("roundtrip failed: " ^ msg)
+  | Ok m ->
+    Alcotest.(check string) "name" meta.scenario_name m.Core.Crash.scenario_name;
+    Alcotest.(check (option string)) "exn" meta.exn_text m.exn_text;
+    Alcotest.(check (option string)) "backtrace" meta.backtrace m.backtrace;
+    Alcotest.(check int) "events_run" meta.events_run m.events_run;
+    Alcotest.(check (float 0.)) "sim_now" meta.sim_now m.sim_now;
+    Alcotest.(check (option int)) "max_events" meta.max_events m.max_events;
+    Alcotest.(check (option (float 0.))) "max_wall" meta.max_wall m.max_wall
+
+let test_bundle_write_load_replay () =
+  let dir = "robustness-bundles" in
+  remove_tree dir;
+  Fun.protect ~finally:(fun () -> remove_tree dir) @@ fun () ->
+  let s = scenario ~name:"budgeted" () in
+  let r =
+    Core.Runner.run
+      ~budget:(Core.Runner.budget ~max_events:3000 ())
+      ~bundle_dir:dir s
+  in
+  let path =
+    match r.Core.Runner.bundle with
+    | Some p -> p
+    | None -> Alcotest.fail "budget stop wrote no bundle"
+  in
+  Alcotest.(check string) "deterministic bundle path"
+    (Filename.concat dir "budgeted")
+    path;
+  match Core.Crash.load path with
+  | Error msg -> Alcotest.fail ("load failed: " ^ msg)
+  | Ok (s2, meta) ->
+    Alcotest.(check string) "scenario survives Marshal" "budgeted"
+      s2.Core.Scenario.name;
+    Alcotest.(check string) "kind" Core.Crash.kind_event_budget
+      meta.Core.Crash.kind;
+    Alcotest.(check int) "events recorded" 3000 meta.Core.Crash.events_run;
+    (* Replay: pinning the budget to the recorded event count reproduces
+       the stop at the same point in simulated time. *)
+    let r2 =
+      Core.Runner.run
+        ~budget:(Core.Runner.budget ~max_events:meta.Core.Crash.events_run ())
+        s2
+    in
+    (match r2.Core.Runner.stop with
+     | Engine.Sim.Event_budget n ->
+       Alcotest.(check int) "replay stops at the same event count" 3000 n
+     | st ->
+       Alcotest.failf "replay stopped with %s"
+         (Engine.Sim.stop_reason_to_string st));
+    Alcotest.(check (float 0.)) "replay reaches the same simulated time"
+      r.Core.Runner.t1 r2.Core.Runner.t1
+
+let test_exception_bundle_fields () =
+  let dir = "robustness-bundles-exn" in
+  remove_tree dir;
+  Fun.protect ~finally:(fun () -> remove_tree dir) @@ fun () ->
+  let sim = Engine.Sim.create () in
+  match
+    Core.Crash.write ~dir ~scenario:(scenario ~name:"crashed" ()) ~sim
+      ~kind:Core.Crash.kind_exception ~reason:"Sim.run raised Failure(\"boom\")"
+      ~exn_text:"Failure(\"boom\")" ~backtrace:"Raised at ..." ()
+  with
+  | Error msg -> Alcotest.fail ("write failed: " ^ msg)
+  | Ok path -> (
+    match Core.Crash.load path with
+    | Error msg -> Alcotest.fail ("load failed: " ^ msg)
+    | Ok (_s, meta) ->
+      Alcotest.(check string) "kind" Core.Crash.kind_exception
+        meta.Core.Crash.kind;
+      Alcotest.(check (option string)) "exception text"
+        (Some "Failure(\"boom\")") meta.Core.Crash.exn_text;
+      Alcotest.(check (option string)) "backtrace" (Some "Raised at ...")
+        meta.Core.Crash.backtrace)
+
+(* ---------------- flush-and-close on exception paths ---------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_with_file_sink_flushes_on_raise () =
+  let path = "robustness-torn-trace.jsonl" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  (* Emit far more than fits a line, then crash: the file must still
+     hold every whole line written before the raise. *)
+  (match
+     Obs.Tracer.with_file_sink path (fun sink ->
+         let sim = Engine.Sim.create () in
+         let tr = Obs.Tracer.create ~jsonl:sink sim in
+         for i = 1 to 500 do
+           Obs.Tracer.emit tr
+             (Obs.Event.Cwnd
+                { conn = 1; cwnd = float_of_int i; ssthresh = 1. })
+         done;
+         failwith "mid-run crash")
+   with
+  | () -> Alcotest.fail "expected the crash to propagate"
+  | exception Failure _ -> ());
+  match Obs.Json.validate_jsonl ~key:"t" (read_file path) with
+  | Ok n -> Alcotest.(check int) "every emitted line survived, whole" 500 n
+  | Error msg -> Alcotest.fail ("torn trace: " ^ msg)
+
+let test_traced_run_crash_leaves_parseable_prefix () =
+  let path = "robustness-run-trace.jsonl" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  (match
+     Obs.Tracer.with_file_sink path (fun sink ->
+         let setup = Obs.Probe.setup ~jsonl:sink () in
+         let _r = Core.Runner.run ~obs:setup (scenario ()) in
+         failwith "crash after the traced run")
+   with
+  | () -> Alcotest.fail "expected the crash to propagate"
+  | exception Failure _ -> ());
+  match Obs.Json.validate_jsonl ~key:"t" (read_file path) with
+  | Ok n -> Alcotest.(check bool) "trace non-empty and parseable" true (n > 0)
+  | Error msg -> Alcotest.fail ("torn trace: " ^ msg)
+
+let suite =
+  ( "robustness",
+    [
+      Alcotest.test_case "guarded run completes" `Quick test_guarded_completes;
+      Alcotest.test_case "event budget stops and resumes" `Quick
+        test_guarded_event_budget_and_resume;
+      Alcotest.test_case "wall budget poll cadence" `Quick
+        test_guarded_wall_budget_cadence;
+      Alcotest.test_case "stop request" `Quick test_guarded_stop_request;
+      Alcotest.test_case "bad horizons rejected" `Quick
+        test_guarded_bad_horizon;
+      Alcotest.test_case "runner event budget" `Quick test_runner_event_budget;
+      Alcotest.test_case "runner stop before warmup" `Quick
+        test_runner_stop_before_warmup;
+      Alcotest.test_case "untripped budget is invisible" `Quick
+        test_runner_unbudgeted_result_unchanged;
+      Alcotest.test_case "meta json roundtrip" `Quick test_meta_json_roundtrip;
+      Alcotest.test_case "bundle write, load, replay" `Quick
+        test_bundle_write_load_replay;
+      Alcotest.test_case "exception bundle fields" `Quick
+        test_exception_bundle_fields;
+      Alcotest.test_case "file sink flushes on raise" `Quick
+        test_with_file_sink_flushes_on_raise;
+      Alcotest.test_case "crashed traced run parseable" `Quick
+        test_traced_run_crash_leaves_parseable_prefix;
+    ] )

@@ -1,6 +1,17 @@
 (* lib/sweep + lib/sweep/pool: the parallel fan-out must be invisible in
    the results — same values, same order, same bytes — for any job
-   count. *)
+   count, and for any pattern of worker deaths (the supervision layer
+   salvages, retries and finally falls back to in-process execution). *)
+
+(* The pool reads the NETSIM_CHAOS_* knobs per map call, so tests can
+   inject worker faults with putenv.  Always reset to "" (putenv cannot
+   unset), which the pool treats as absent. *)
+let with_env pairs f =
+  Fun.protect
+    ~finally:(fun () -> List.iter (fun (k, _) -> Unix.putenv k "") pairs)
+    (fun () ->
+      List.iter (fun (k, v) -> Unix.putenv k v) pairs;
+      f ())
 
 (* ---------------- Sweep_pool ---------------- *)
 
@@ -28,12 +39,142 @@ let test_pool_worker_error () =
       (fun x -> if x = 3 then failwith "boom" else x)
       [ 1; 2; 3; 4 ]
   with
-  | _ -> Alcotest.fail "expected the worker failure to propagate"
-  | exception Failure msg ->
-    let has_prefix =
-      String.length msg >= 15 && String.sub msg 0 15 = "Sweep_pool.map:"
-    in
-    Alcotest.(check bool) ("failure propagated: " ^ msg) true has_prefix
+  | _ -> Alcotest.fail "expected Sweep_pool.Error"
+  | exception Sweep_pool.Error e ->
+    Alcotest.(check int) "one failed point" 1 (List.length e.point_failures);
+    let pf = List.hd e.point_failures in
+    Alcotest.(check int) "failing point index" 2 pf.Sweep_pool.point;
+    Alcotest.(check string) "exception text carried across the pipe"
+      "Failure(\"boom\")" pf.Sweep_pool.exn_text;
+    Alcotest.(check (list Alcotest.reject)) "a raising task is not a worker failure"
+      [] e.worker_failures
+
+(* A SIGKILLed worker loses only its unfinished points: everything it
+   already streamed back is salvaged, the rest is retried elsewhere. *)
+let test_pool_chaos_kill_salvages () =
+  with_env [ ("NETSIM_CHAOS_KILL_AFTER", "2") ] @@ fun () ->
+  let xs = List.init 12 (fun i -> i) in
+  let failures = ref [] in
+  let got =
+    Sweep_pool.map ~jobs:3 ~backoff:0.01
+      ~on_failure:(fun f -> failures := f :: !failures)
+      (fun x -> x * x) xs
+  in
+  Alcotest.(check (list int))
+    "results survive every worker being killed"
+    (List.map (fun x -> x * x) xs)
+    got;
+  Alcotest.(check int) "all three workers reported" 3 (List.length !failures);
+  List.iter
+    (fun (f : Sweep_pool.worker_failure) ->
+      (match f.cause with
+       | Sweep_pool.Signaled s when s = Sys.sigkill -> ()
+       | c ->
+         Alcotest.fail ("unexpected cause: " ^ Sweep_pool.cause_to_string c));
+      Alcotest.(check int) "two frames salvaged before the kill" 2
+        (List.length f.salvaged);
+      Alcotest.(check bool) "lost points identified" true (f.lost <> []))
+    !failures
+
+(* A torn frame (EOF mid-payload) is classified per worker as a corrupt
+   stream, with the affected points requeued. *)
+let test_pool_chaos_truncation_classified () =
+  with_env [ ("NETSIM_CHAOS_TRUNCATE_AFTER", "1") ] @@ fun () ->
+  let xs = List.init 6 (fun i -> i) in
+  let outcome =
+    Sweep_pool.map_collect ~jobs:2 ~backoff:0.01 (fun x -> x + 10) xs
+  in
+  Alcotest.(check bool) "not interrupted" false outcome.interrupted;
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "point %d recovered" i)
+        (Some (i + 10)) r)
+    outcome.results;
+  Alcotest.(check int) "both workers reported" 2
+    (List.length outcome.worker_failures);
+  List.iter
+    (fun (f : Sweep_pool.worker_failure) ->
+      match f.cause with
+      | Sweep_pool.Corrupt_stream _ ->
+        Alcotest.(check int) "one frame salvaged before the tear" 1
+          (List.length f.salvaged);
+        Alcotest.(check bool) "lost points identified" true (f.lost <> [])
+      | c ->
+        Alcotest.fail ("unexpected cause: " ^ Sweep_pool.cause_to_string c))
+    outcome.worker_failures
+
+(* When every respawn dies too, the retry budget runs out and the pool
+   degrades to in-process sequential execution of the missing points. *)
+let test_pool_retry_exhaustion_falls_back () =
+  with_env
+    [ ("NETSIM_CHAOS_KILL_AFTER", "0"); ("NETSIM_CHAOS_ALL_ATTEMPTS", "1") ]
+  @@ fun () ->
+  let xs = [ 1; 2; 3; 4; 5 ] in
+  let failures = ref 0 in
+  let got =
+    Sweep_pool.map ~jobs:2 ~max_retries:1 ~backoff:0.01
+      ~on_failure:(fun _ -> incr failures)
+      (fun x -> 3 * x)
+      xs
+  in
+  Alcotest.(check (list int)) "sequential fallback completes the sweep"
+    (List.map (fun x -> 3 * x) xs)
+    got;
+  Alcotest.(check bool) "initial attempts and retries all failed" true
+    (!failures >= 2)
+
+(* Hung workers (no output before the deadline) are killed and their
+   points recovered like any other failure. *)
+let test_pool_deadline_kills_hung_worker () =
+  let causes = ref [] in
+  let outcome =
+    Sweep_pool.map_collect ~jobs:2 ~max_retries:0 ~deadline:0.05
+      ~on_failure:(fun f -> causes := f.Sweep_pool.cause :: !causes)
+      (fun x ->
+        Unix.sleepf 0.5;
+        x)
+      [ 0; 1 ]
+  in
+  Alcotest.(check bool) "deadline kills reported" true
+    (List.exists
+       (function Sweep_pool.Timed_out _ -> true | _ -> false)
+       !causes);
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "point %d recovered in-process" i)
+        (Some i) r)
+    outcome.results
+
+(* Cooperative stop: map_collect returns a partial outcome flagged
+   interrupted instead of finishing the grid. *)
+let test_pool_stop_interrupts () =
+  let outcome =
+    Sweep_pool.map_collect ~jobs:2
+      ~stop:(fun () -> true)
+      (fun x -> x)
+      (List.init 8 (fun i -> i))
+  in
+  Alcotest.(check bool) "interrupted" true outcome.interrupted;
+  Alcotest.(check (list Alcotest.reject)) "no spurious point failures" []
+    outcome.point_failures;
+  Alcotest.(check (list Alcotest.reject)) "no spurious worker failures" []
+    outcome.worker_failures
+
+(* The headline robustness property: for random kill points and job
+   counts, a sweep with SIGKILLed workers returns exactly the
+   sequential result. *)
+let prop_chaos_determinism =
+  QCheck.Test.make ~name:"randomly killed workers never change results"
+    ~count:12
+    QCheck.(pair (int_range 0 4) (int_range 2 4))
+    (fun (kill_after, jobs) ->
+      with_env [ ("NETSIM_CHAOS_KILL_AFTER", string_of_int kill_after) ]
+      @@ fun () ->
+      let xs = List.init 11 (fun i -> i) in
+      let f x = (x, (2 * x) + 1) in
+      Sweep_pool.map ~jobs ~backoff:0.01 f xs = List.map f xs)
 
 (* ---------------- Driver determinism ---------------- *)
 
@@ -41,7 +182,13 @@ let test_driver_jobs_identical () =
   let points = Sweep.Grids.smoke.points ~quick:true in
   let j1 = Sweep.Driver.to_json (Sweep.Driver.run ~jobs:1 points) in
   let j2 = Sweep.Driver.to_json (Sweep.Driver.run ~jobs:2 points) in
-  Alcotest.(check string) "jobs 1 vs 2 byte-identical JSON" j1 j2
+  Alcotest.(check string) "jobs 1 vs 2 byte-identical JSON" j1 j2;
+  let j2_chaos =
+    with_env [ ("NETSIM_CHAOS_KILL_AFTER", "1") ] (fun () ->
+        Sweep.Driver.to_json (Sweep.Driver.run ~jobs:2 ~backoff:0.01 points))
+  in
+  Alcotest.(check string) "jobs 2 with killed workers byte-identical" j1
+    j2_chaos
 
 (* ---------------- Summary JSON ---------------- *)
 
@@ -108,6 +255,17 @@ let suite =
         test_pool_matches_sequential;
       Alcotest.test_case "pool edge sizes" `Quick test_pool_edge_sizes;
       Alcotest.test_case "pool worker error" `Quick test_pool_worker_error;
+      Alcotest.test_case "pool chaos kill salvages" `Quick
+        test_pool_chaos_kill_salvages;
+      Alcotest.test_case "pool truncation classified" `Quick
+        test_pool_chaos_truncation_classified;
+      Alcotest.test_case "pool retry exhaustion falls back" `Quick
+        test_pool_retry_exhaustion_falls_back;
+      Alcotest.test_case "pool deadline kills hung worker" `Quick
+        test_pool_deadline_kills_hung_worker;
+      Alcotest.test_case "pool cooperative stop" `Quick
+        test_pool_stop_interrupts;
+      QCheck_alcotest.to_alcotest prop_chaos_determinism;
       Alcotest.test_case "driver jobs 1 vs 2 identical" `Quick
         test_driver_jobs_identical;
       Alcotest.test_case "json special floats" `Quick test_json_special_floats;
