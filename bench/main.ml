@@ -642,48 +642,71 @@ let run_cc_bench () =
 (* 6. Observability overhead                                           *)
 (* ------------------------------------------------------------------ *)
 
-(* Cost of the lib/obs probe on the engine-bench run, in three
+(* Cost of the lib/obs probe on the engine-bench run, in four
    configurations:
      off      — Probe.disabled: no hooks installed at all; must match the
                 bare runtime (this is the zero-overhead-when-absent claim)
      metrics  — counters/gauges/histograms registered on every link and
                 connection; the per-event cost is an int store
-     trace    — full structured tracing (JSONL + Chrome + flight ring)
-                into sinks that drop the bytes, so the number measures
-                formatting, not disk
+     series   — metrics plus the 1 Hz recorder sampling every metric into
+                step series off preallocated rows (the --metrics-out path)
+     trace    — full binary tracing (the --trace-out path: Btrace
+                writer, no flight ring) into a sink that drops the
+                bytes, so the number measures encoding, not disk
    [--json] commits the numbers to BENCH_obs.json; [--check FILE] gates
    each overhead percentage at the committed figure plus 25 percentage
-   points (ratios of wall-clock runs are too noisy for a relative band). *)
+   points (ratios of wall-clock runs are too noisy for a relative band)
+   AND holds fully-traced runs under the 2x absolute target the binary
+   format was built for. *)
+
+(* Fully-traced runs must stay under 2x the untraced runtime (i.e.
+   +100% overhead) no matter what the committed baseline says. *)
+let trace_overhead_limit_pct = 100.
 
 type obs_profile = {
   op_off_ms : float;
   op_metrics_ms : float;
+  op_series_ms : float;
   op_trace_ms : float;
   op_metrics_pct : float;
+  op_series_pct : float;
   op_trace_pct : float;
   op_events_traced : int;
 }
 
 let measure_obs () =
   let scenario = engine_scenario () in
-  let time ~obs =
-    let reps = 5 in
-    ignore (Core.Runner.run ~obs:(obs ()) scenario : Core.Runner.result);
-    let best = ref infinity in
-    for _ = 1 to reps do
-      let t0 = Unix.gettimeofday () in
-      ignore (Core.Runner.run ~obs:(obs ()) scenario : Core.Runner.result);
-      best := Float.min !best (Unix.gettimeofday () -. t0)
-    done;
-    !best
-  in
   let drop (_ : string) = () in
-  let trace_setup () =
-    Obs.Probe.setup ~metrics:false ~jsonl:drop ~chrome:drop ~flight:256 ()
+  let trace_setup () = Obs.Probe.setup ~metrics:false ~btrace:drop () in
+  let configs =
+    [|
+      (fun () -> Obs.Probe.disabled);
+      (fun () -> Obs.Probe.setup ());
+      (fun () -> Obs.Probe.setup ~series_dt:1.0 ());
+      trace_setup;
+    |]
   in
-  let off = time ~obs:(fun () -> Obs.Probe.disabled) in
-  let metrics = time ~obs:(fun () -> Obs.Probe.setup ()) in
-  let trace = time ~obs:trace_setup in
+  (* Interleave the configurations round-robin and keep each one's best
+     rep: a transient load spike then degrades one rep of every config
+     instead of poisoning a single config's whole measurement, which is
+     what makes overhead ratios of one-shot wall-clock runs unusable. *)
+  let best = Array.make (Array.length configs) infinity in
+  Array.iter
+    (fun obs ->
+      ignore (Core.Runner.run ~obs:(obs ()) scenario : Core.Runner.result))
+    configs;
+  for _rep = 1 to 7 do
+    Array.iteri
+      (fun i obs ->
+        let t0 = Unix.gettimeofday () in
+        ignore (Core.Runner.run ~obs:(obs ()) scenario : Core.Runner.result);
+        best.(i) <- Float.min best.(i) (Unix.gettimeofday () -. t0))
+      configs
+  done;
+  let off = best.(0) in
+  let metrics = best.(1) in
+  let series = best.(2) in
+  let trace = best.(3) in
   let events_traced =
     let r = Core.Runner.run ~obs:(trace_setup ()) scenario in
     match r.Core.Runner.obs with
@@ -694,28 +717,34 @@ let measure_obs () =
   {
     op_off_ms = 1000. *. off;
     op_metrics_ms = 1000. *. metrics;
+    op_series_ms = 1000. *. series;
     op_trace_ms = 1000. *. trace;
     op_metrics_pct = pct metrics;
+    op_series_pct = pct series;
     op_trace_pct = pct trace;
     op_events_traced = events_traced;
   }
 
 let print_obs_profile (p : obs_profile) =
-  Printf.printf "obs off:      %8.2f ms\n" p.op_off_ms;
-  Printf.printf "metrics on:   %8.2f ms  (%+.1f %%)\n" p.op_metrics_ms
+  Printf.printf "obs off:        %8.2f ms\n" p.op_off_ms;
+  Printf.printf "metrics on:     %8.2f ms  (%+.1f %%)\n" p.op_metrics_ms
     p.op_metrics_pct;
-  Printf.printf "full tracing: %8.2f ms  (%+.1f %%, %d events)\n"
+  Printf.printf "metrics+series: %8.2f ms  (%+.1f %%)\n" p.op_series_ms
+    p.op_series_pct;
+  Printf.printf "full tracing:   %8.2f ms  (%+.1f %%, %d events, binary)\n"
     p.op_trace_ms p.op_trace_pct p.op_events_traced
 
 let write_obs_json file (p : obs_profile) =
   let oc = open_out file in
   Printf.fprintf oc
     "{\n  \"scenario\": \"fig4-two-way-100s\",\n\
-    \  \"off_ms\": %.2f,\n  \"metrics_ms\": %.2f,\n  \"trace_ms\": %.2f,\n\
-    \  \"metrics_overhead_pct\": %.1f,\n  \"trace_overhead_pct\": %.1f,\n\
+    \  \"off_ms\": %.2f,\n  \"metrics_ms\": %.2f,\n  \"series_ms\": %.2f,\n\
+    \  \"trace_ms\": %.2f,\n\
+    \  \"metrics_overhead_pct\": %.1f,\n  \"series_overhead_pct\": %.1f,\n\
+    \  \"trace_overhead_pct\": %.1f,\n\
     \  \"events_traced\": %d\n}\n"
-    p.op_off_ms p.op_metrics_ms p.op_trace_ms p.op_metrics_pct p.op_trace_pct
-    p.op_events_traced;
+    p.op_off_ms p.op_metrics_ms p.op_series_ms p.op_trace_ms p.op_metrics_pct
+    p.op_series_pct p.op_trace_pct p.op_events_traced;
   close_out oc;
   Printf.printf "wrote %s\n" file
 
@@ -733,12 +762,13 @@ let run_obs_check baseline_file =
   let p = measure_obs () in
   print_obs_profile p;
   write_obs_json "BENCH_obs.current.json" p;
-  let check name measured base =
+  let check ?cap name measured base =
     (* 25% of the baseline plus 25 percentage points: the relative part
-       scales with heavyweight baselines (full tracing sits in the
-       thousands of percent, where run-to-run noise is also hundreds of
-       points), the absolute part keeps near-zero baselines checkable. *)
-    let limit = (base *. 1.25) +. 25. in
+       scales with noisy baselines, the absolute part keeps near-zero
+       baselines checkable.  [cap] additionally pins an absolute ceiling
+       regardless of what was committed. *)
+    let band = (base *. 1.25) +. 25. in
+    let limit = match cap with Some c -> Float.min band c | None -> band in
     let ok = measured <= limit in
     Printf.printf "%-24s %+9.1f %%  (baseline %+.1f, limit %+.1f)  %s\n" name
       measured base limit
@@ -746,7 +776,10 @@ let run_obs_check baseline_file =
     ok
   in
   let metrics_ok = check "metrics overhead" p.op_metrics_pct base_metrics in
-  let trace_ok = check "trace overhead" p.op_trace_pct base_trace in
+  let trace_ok =
+    check ~cap:trace_overhead_limit_pct "trace overhead" p.op_trace_pct
+      base_trace
+  in
   if metrics_ok && trace_ok then 0 else 1
 
 (* ------------------------------------------------------------------ *)

@@ -7,7 +7,8 @@
      sweep       run a scenario grid across parallel workers
      plot        ASCII queue/cwnd plots of a paper figure
      dump        write every figure's traces as CSV files
-     tracecheck  validate a JSONL event trace produced by run
+     trace       export a binary event trace as JSONL or Perfetto JSON
+     tracecheck  validate an exported JSONL event trace
      replay      re-run a crash bundle and check it reproduces          *)
 
 open Cmdliner
@@ -16,6 +17,18 @@ open Cmdliner
    3 watchdog budget stop, 130 interrupted. *)
 let exit_budget = 3
 let exit_interrupt = 130
+
+(* Numeric flags go through [Core.Args] so "nan", "inf" and
+   out-of-range values are rejected at parse time with the flag named
+   in the error instead of corrupting a run. *)
+let checked_float ~what check =
+  let parse s =
+    match Core.Args.parse_float ~what check s with
+    | Ok v -> Ok v
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf v = Format.fprintf ppf "%g" v in
+  Arg.conv (parse, print)
 
 (* ---------------- interrupts ---------------- *)
 
@@ -64,7 +77,7 @@ let guard_term =
   let max_wall =
     Arg.(
       value
-      & opt (some float) None
+      & opt (some (checked_float ~what:"--max-wall" Core.Args.Positive)) None
       & info [ "max-wall" ] ~docv:"SECONDS"
           ~doc:
             "Watchdog: stop the simulation after SECONDS of wall-clock \
@@ -235,20 +248,26 @@ let fault_sites cli =
     Some sites
   end
 
-let float_list_conv ~expected ~of_list =
+(* Comma-separated float lists with per-element validation: each element
+   must parse AND satisfy [check] (no "nan"/"inf"/negative sneaking into
+   fault specs through the list syntax). *)
+let float_list_conv ~what ~check ~expected ~of_list =
   let parse s =
-    try
-      of_list
-        (List.map
-           (fun x -> float_of_string (String.trim x))
-           (String.split_on_char ',' s))
-    with _ -> Error (`Msg expected)
+    let rec go acc = function
+      | [] -> of_list (List.rev acc)
+      | x :: rest -> (
+        match Core.Args.parse_float ~what check (String.trim x) with
+        | Ok v -> go (v :: acc) rest
+        | Error msg -> Error (`Msg (msg ^ "; " ^ expected)))
+    in
+    go [] (String.split_on_char ',' s)
   in
   let print ppf _ = Format.fprintf ppf "<fault spec>" in
   Arg.conv (parse, print)
 
 let burst_conv =
-  float_list_conv ~expected:"expected P_ENTER,P_EXIT,P_LOSS" ~of_list:(function
+  float_list_conv ~what:"--burst-loss" ~check:Core.Args.Probability
+    ~expected:"expected P_ENTER,P_EXIT,P_LOSS" ~of_list:(function
     | [ a; b; c ] -> Ok (a, b, c)
     | _ -> Error (`Msg "expected P_ENTER,P_EXIT,P_LOSS"))
 
@@ -259,14 +278,14 @@ let outage_conv =
       Result.map (fun tl -> (start, stop) :: tl) (pair_up rest)
     | [ _ ] -> Error (`Msg "expected START,STOP pairs")
   in
-  float_list_conv ~expected:"expected START,STOP[,START,STOP...]"
-    ~of_list:pair_up
+  float_list_conv ~what:"--outage" ~check:Core.Args.Non_negative
+    ~expected:"expected START,STOP[,START,STOP...]" ~of_list:pair_up
 
 let fault_term =
   let loss =
     Arg.(
       value
-      & opt (some float) None
+      & opt (some (checked_float ~what:"--loss" Core.Args.Probability)) None
       & info [ "loss" ] ~docv:"P"
           ~doc:"Drop each packet entering the faulted link with probability P.")
   in
@@ -291,7 +310,9 @@ let fault_term =
   let jitter =
     Arg.(
       value
-      & opt (some float) None
+      & opt
+          (some (checked_float ~what:"--jitter" Core.Args.Non_negative))
+          None
       & info [ "jitter" ] ~docv:"SECONDS"
           ~doc:"Add uniform extra latency in [0, SECONDS) per departure.")
   in
@@ -304,7 +325,7 @@ let fault_term =
   let dup =
     Arg.(
       value
-      & opt (some float) None
+      & opt (some (checked_float ~what:"--dup" Core.Args.Probability)) None
       & info [ "dup" ] ~docv:"P"
           ~doc:"Duplicate each admitted packet with probability P.")
   in
@@ -351,7 +372,9 @@ let obs_term =
   let metrics_dt =
     Arg.(
       value
-      & opt (some float) None
+      & opt
+          (some (checked_float ~what:"--metrics-dt" Core.Args.Positive))
+          None
       & info [ "metrics-dt" ] ~docv:"SECONDS"
           ~doc:
             "Also sample every metric each SECONDS of simulated time \
@@ -363,9 +386,9 @@ let obs_term =
       & opt (some string) None
       & info [ "trace-out" ] ~docv:"FILE"
           ~doc:
-            "Write the structured event trace as JSONL to FILE and as a \
-             Chrome trace_event file (Perfetto-loadable) to \
-             FILE.chrome.json.")
+            "Write the structured event trace to FILE in the compact \
+             binary format; convert offline with $(b,netsim trace \
+             export FILE --format jsonl|perfetto).")
   in
   let flight =
     Arg.(
@@ -389,26 +412,22 @@ let obs_term =
   in
   Term.(const mk $ metrics_out $ metrics_dt $ trace_out $ flight $ json)
 
-(* [FILE] for the JSONL stream, [FILE.chrome.json] for the Chrome view. *)
-let chrome_file f = f ^ ".chrome.json"
-
 let obs_setup_of_cli (cli : obs_cli) ~channels =
   let metrics = cli.metrics_out <> None || cli.json in
   if not (metrics || cli.trace_out <> None || cli.flight > 0) then
     Obs.Probe.disabled
   else begin
-    let jsonl, chrome =
+    let btrace =
       match cli.trace_out with
-      | None -> (None, None)
+      | None -> None
       | Some file ->
-        let oc = open_out file in
-        let occ = open_out (chrome_file file) in
-        channels := occ :: oc :: !channels;
-        (Some (output_string oc), Some (output_string occ))
+        let oc = open_out_bin file in
+        channels := oc :: !channels;
+        Some (output_string oc)
     in
     Obs.Probe.setup ~metrics
       ?series_dt:(if metrics then cli.metrics_dt else None)
-      ?jsonl ?chrome
+      ?btrace
       ?flight:(if cli.flight > 0 then Some cli.flight else None)
       ()
   end
@@ -427,10 +446,13 @@ let metrics_file_json probe =
          if i > 0 then Buffer.add_char buf ',';
          Printf.bprintf buf "\"%s\":[" name;
          let first = ref true in
+         let num f =
+           if Float.is_finite f then Obs.Json.float_repr f else "null"
+         in
          Trace.Series.iter s ~f:(fun ~time ~value ->
              if not !first then Buffer.add_char buf ',';
              first := false;
-             Printf.bprintf buf "[%.9g,%.9g]" time value);
+             Printf.bprintf buf "[%s,%s]" (num time) (num value));
          Buffer.add_char buf ']')
        series;
      Buffer.add_char buf '}');
@@ -520,9 +542,10 @@ let run_custom tau buffer fwd rev fixed delack ack_size algorithm cc pacing
   install_signal_handlers ();
   let channels = ref [] in
   let obs_setup = obs_setup_of_cli obs_cli ~channels in
-  (* Flush-and-close the trace channels on every exit path: a crash
-     mid-simulation must still leave a parseable JSONL prefix, never a
-     file torn mid-line by channel buffering. *)
+  (* Flush-and-close the trace channel on every exit path: the runner
+     flushes the binary writer even when Sim.run raises, so a crashed
+     run leaves a prefix from which trace export recovers every
+     complete record. *)
   Fun.protect
     ~finally:(fun () ->
       List.iter
@@ -608,9 +631,10 @@ let run_custom tau buffer fwd rev fixed delack ack_size algorithm cc pacing
    | Some probe ->
      (match obs_cli.trace_out with
       | Some file ->
-        Printf.printf "trace: %d events -> %s and %s\n"
+        Printf.printf
+          "trace: %d events -> %s (binary; netsim trace export %s)\n"
           (Obs.Probe.events_traced probe)
-          file (chrome_file file)
+          file file
       | None -> ());
      Option.iter
        (fun file -> Printf.printf "metrics: wrote %s\n" file)
@@ -635,7 +659,8 @@ let fixed_conv =
 let run_cmd =
   let tau =
     Arg.(
-      value & opt float 0.01
+      value
+      & opt (checked_float ~what:"--tau" Core.Args.Positive) 0.01
       & info [ "tau" ] ~docv:"SECONDS" ~doc:"Bottleneck propagation delay.")
   in
   let buffer =
@@ -686,7 +711,7 @@ let run_cmd =
   let pacing =
     Arg.(
       value
-      & opt (some float) None
+      & opt (some (checked_float ~what:"--pacing" Core.Args.Positive)) None
       & info [ "pacing" ] ~docv:"SECONDS"
           ~doc:"Pace data packets at least this far apart.")
   in
@@ -705,7 +730,8 @@ let run_cmd =
   in
   let skew =
     Arg.(
-      value & opt float 0.
+      value
+      & opt (checked_float ~what:"--skew" Core.Args.Non_negative) 0.
       & info [ "skew" ] ~docv:"SECONDS"
           ~doc:
             "Extra one-way latency for every forward connection but the \
@@ -718,12 +744,14 @@ let run_cmd =
   in
   let duration =
     Arg.(
-      value & opt float 600.
+      value
+      & opt (checked_float ~what:"--duration" Core.Args.Positive) 600.
       & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated time.")
   in
   let warmup =
     Arg.(
-      value & opt float 200.
+      value
+      & opt (checked_float ~what:"--warmup" Core.Args.Non_negative) 200.
       & info [ "warmup" ] ~docv:"SECONDS" ~doc:"Excluded warm-up time.")
   in
   let csv =
@@ -855,7 +883,9 @@ let sweep_cmd =
   let worker_timeout =
     Arg.(
       value
-      & opt (some float) None
+      & opt
+          (some (checked_float ~what:"--worker-timeout" Core.Args.Positive))
+          None
       & info [ "worker-timeout" ] ~docv:"SECONDS"
           ~doc:
             "Treat a worker silent for SECONDS as hung: kill and respawn \
@@ -964,12 +994,97 @@ let dump_cmd =
     (Cmd.info "dump" ~doc:"Write every figure's traces as CSV.")
     Term.(const dump_figures $ dir $ quick_flag $ validate_flag)
 
+(* ---------------- trace export ---------------- *)
+
+let read_whole_file file =
+  let ic = open_in_bin file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run_trace_export file format out =
+  let data =
+    try read_whole_file file
+    with Sys_error msg ->
+      prerr_endline ("trace export: " ^ msg);
+      exit 2
+  in
+  match Obs.Btrace.read data with
+  | Error msg ->
+    Printf.eprintf "trace export: %s: %s\n" file msg;
+    2
+  | Ok trace ->
+    (* A torn tail (crash before the final flush) is a warning, not a
+       failure: every complete record is still exported. *)
+    (match trace.torn with
+     | Some msg -> Printf.eprintf "trace export: %s: warning: %s\n" file msg
+     | None -> ());
+    let export sink =
+      match format with
+      | `Jsonl -> Obs.Btrace.export_jsonl trace.items sink
+      | `Perfetto -> Obs.Btrace.export_chrome trace.items sink
+    in
+    (match out with
+     | None ->
+       export print_string;
+       flush stdout
+     | Some path ->
+       let oc = open_out_bin path in
+       Fun.protect
+         ~finally:(fun () ->
+           try flush oc; close_out oc with Sys_error _ -> ())
+         (fun () -> export (output_string oc)));
+    0
+
+let trace_cmd =
+  let export_cmd =
+    let file_arg =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"FILE"
+            ~doc:"Binary trace written via $(b,--trace-out).")
+    in
+    let format =
+      Arg.(
+        value
+        & opt (enum [ ("jsonl", `Jsonl); ("perfetto", `Perfetto) ]) `Jsonl
+        & info [ "format" ] ~docv:"FORMAT"
+            ~doc:
+              "Output format: $(b,jsonl) (one JSON object per event) or \
+               $(b,perfetto) (Chrome trace_event JSON, loadable in \
+               Perfetto / chrome://tracing).")
+    in
+    let out =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "out"; "o" ] ~docv:"FILE"
+            ~doc:"Write to FILE instead of stdout.")
+    in
+    Cmd.v
+      (Cmd.info "export"
+         ~doc:
+           "Convert a binary event trace to JSONL or a Perfetto-loadable \
+            Chrome trace.  A torn trailing record (crashed run) is \
+            reported on stderr; every complete record is still exported.")
+      Term.(const run_trace_export $ file_arg $ format $ out)
+  in
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Operate on binary event traces.")
+    [ export_cmd ]
+
 (* ---------------- tracecheck ---------------- *)
 
 let run_tracecheck file key =
-  let ic = open_in_bin file in
-  let text = really_input_string ic (in_channel_length ic) in
-  close_in ic;
+  let text = read_whole_file file in
+  if String.length text >= 4 && String.sub text 0 4 = Obs.Btrace.magic then begin
+    Printf.eprintf
+      "%s: binary trace; convert first with netsim trace export %s\n" file
+      file;
+    1
+  end
+  else
   match Obs.Json.validate_jsonl ~key text with
   | Ok count ->
     Printf.printf "%s: OK (%d events, %S monotone)\n" file count key;
@@ -1091,8 +1206,8 @@ let main =
          "Dynamics of the BSD 4.3-Tahoe TCP congestion control algorithm \
           under two-way traffic (Zhang, Shenker & Clark, SIGCOMM '91).")
     [
-      experiment_cmd; run_cmd; sweep_cmd; plot_cmd; dump_cmd; tracecheck_cmd;
-      replay_cmd;
+      experiment_cmd; run_cmd; sweep_cmd; plot_cmd; dump_cmd; trace_cmd;
+      tracecheck_cmd; replay_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

@@ -67,7 +67,7 @@ let int_or_null = function
 
 let float_or_null = function
   | None -> "null"
-  | Some f -> Printf.sprintf "%.9g" f
+  | Some f -> Obs.Json.float_repr f
 
 let meta_to_json m =
   Printf.sprintf
@@ -125,7 +125,8 @@ let bundle_path ~dir (scenario : Scenario.t) =
   Filename.concat dir scenario.name
 
 let write ~dir ~(scenario : Scenario.t) ~sim ~kind ~reason ?exn_text
-    ?backtrace ?validation ?flight ?metrics_json ?max_events ?max_wall () =
+    ?backtrace ?validation ?flight_text ?metrics_json ?max_events ?max_wall
+    () =
   let meta =
     {
       scenario_name = scenario.name;
@@ -147,8 +148,7 @@ let write ~dir ~(scenario : Scenario.t) ~sim ~kind ~reason ?exn_text
   | blob ->
     Obs.Bundle.write
       ~dir:(bundle_path ~dir scenario)
-      ~meta_json:(meta_to_json meta) ~scenario_blob:blob ?flight
-      ~flight_reason:("crash bundle: " ^ reason)
+      ~meta_json:(meta_to_json meta) ~scenario_blob:blob ?flight_text
       ?metrics_json ()
 
 let load dir =

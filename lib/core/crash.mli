@@ -63,7 +63,7 @@ val write :
   ?exn_text:string ->
   ?backtrace:string ->
   ?validation:string ->
-  ?flight:Obs.Flight.t ->
+  ?flight_text:string ->
   ?metrics_json:string ->
   ?max_events:int ->
   ?max_wall:float ->

@@ -146,7 +146,10 @@ let run ?(obs = Obs.Probe.disabled) ?(budget = no_budget) ?stop ?bundle_dir
         match
           Crash.write ~dir ~scenario ~sim ~kind ~reason ?exn_text ?backtrace
             ?validation
-            ?flight:(Option.bind obs Obs.Probe.flight)
+            ?flight_text:
+              (Option.bind obs (fun probe ->
+                   Obs.Probe.flight_text probe
+                     ~reason:("crash bundle: " ^ reason)))
             ?metrics_json:(Option.map Obs.Probe.metrics_json obs)
             ?max_events:budget.max_events ?max_wall:budget.max_wall ()
         with

@@ -1,0 +1,691 @@
+(* Compact binary trace encoding.
+
+   File layout: a 5-byte header ("NSBT" magic + version byte), then a
+   flat sequence of records.  Every record is a tag byte followed by a
+   tag-specific payload:
+
+     0x00 string-def   varint sid, varint length, raw bytes
+     0x01 link-def     varint link id, varint name sid, f64 bandwidth
+     0x02 conn-def     varint conn id
+     0x10..0x19 event  varint64 zigzag(delta of Int64.bits_of_float t),
+                       then the event payload below
+
+   Integers are unsigned LEB128 varints (OCaml ints encode their 63-bit
+   pattern, so even a negative field round-trips in <= 9 bytes); floats
+   that must round-trip bit-exactly (cwnd, ssthresh, bandwidth) are raw
+   little-endian IEEE bits.  Event times are monotone, so consecutive
+   [bits_of_float] values are close and the zigzag delta usually fits a
+   few bytes.
+
+   Strings (link names, fault labels, loss reasons) are interned: the
+   writer emits a string-def the first time a string appears and varint
+   ids afterwards, so the steady-state hot path never copies a string.
+
+   The writer appends records to one preallocated segment buffer and
+   hands it to the sink only when full (or on [flush]) — zero
+   formatting, zero per-event syscalls.  The reader is torn-tolerant: a
+   file cut mid-record (crash before the last flush) yields every
+   complete record plus a description of the torn tail. *)
+
+let magic = "NSBT"
+let version = 1
+
+let tag_string = 0x00
+let tag_link = 0x01
+let tag_conn = 0x02
+let tag_inject = 0x10
+let tag_deliver = 0x11
+let tag_enqueue = 0x12
+let tag_drop = 0x13
+let tag_depart = 0x14
+let tag_fault = 0x15
+let tag_send = 0x16
+let tag_cwnd = 0x17
+let tag_loss = 0x18
+let tag_ack_tx = 0x19
+
+(* ------------------------------------------------------------------ *)
+(* Plain decoded data: no live model objects (packets are recycled
+   through free-lists, so a decoded/archived event must copy fields).   *)
+(* ------------------------------------------------------------------ *)
+
+type pkt = {
+  id : int;
+  conn : int;
+  kind : Net.Packet.kind;
+  seq : int;
+  retransmit : bool;
+  size : int;
+}
+
+type link = { link_id : int; link_name : string; bandwidth : float }
+
+type ev =
+  | Inject of pkt
+  | Deliver of pkt
+  | Enqueue of { link : link; pkt : pkt; qlen : int }
+  | Drop of { link : link; pkt : pkt }
+  | Depart of { link : link; pkt : pkt; qlen : int }
+  | Fault of { link : link; label : string; pkt : pkt }
+  | Send of { conn : int; pkt : pkt }
+  | Cwnd of { conn : int; cwnd : float; ssthresh : float }
+  | Loss of { conn : int; reason : string }
+  | Ack_tx of { conn : int; ackno : int; delayed : bool; dup : bool }
+
+type item = Def_link of link | Def_conn of int | Event of float * ev
+
+type file = { file_version : int; items : item list; torn : string option }
+
+let ev_label = function
+  | Inject _ -> "inject"
+  | Deliver _ -> "deliver"
+  | Enqueue _ -> "enqueue"
+  | Drop _ -> "drop"
+  | Depart _ -> "depart"
+  | Fault _ -> "fault"
+  | Send _ -> "send"
+  | Cwnd _ -> "cwnd"
+  | Loss _ -> "loss"
+  | Ack_tx _ -> "ack_tx"
+
+let plain_pkt (p : Net.Packet.t) =
+  {
+    id = p.id;
+    conn = p.conn;
+    kind = p.kind;
+    seq = p.seq;
+    retransmit = p.retransmit;
+    size = p.size;
+  }
+
+let plain_link l =
+  {
+    link_id = Net.Link.id l;
+    link_name = Net.Link.name l;
+    bandwidth = Net.Link.bandwidth l;
+  }
+
+let plain_ev ~link_of (ev : Event.t) =
+  match ev with
+  | Event.Inject p -> Inject (plain_pkt p)
+  | Event.Deliver p -> Deliver (plain_pkt p)
+  | Event.Enqueue { link; pkt; qlen } ->
+    Enqueue { link = link_of link; pkt = plain_pkt pkt; qlen }
+  | Event.Drop { link; pkt } ->
+    Drop { link = link_of link; pkt = plain_pkt pkt }
+  | Event.Depart { link; pkt; qlen } ->
+    Depart { link = link_of link; pkt = plain_pkt pkt; qlen }
+  | Event.Fault { link; label; pkt } ->
+    Fault { link = link_of link; label; pkt = plain_pkt pkt }
+  | Event.Send { conn; pkt } -> Send { conn; pkt = plain_pkt pkt }
+  | Event.Cwnd { conn; cwnd; ssthresh } -> Cwnd { conn; cwnd; ssthresh }
+  | Event.Loss { conn; reason } -> Loss { conn; reason }
+  | Event.Ack_tx { conn; ackno; delayed; dup } ->
+    Ack_tx { conn; ackno; delayed; dup }
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type writer = {
+  sink : string -> unit;
+  seg : Bytes.t;
+  mutable pos : int;
+  strings : (string, int) Hashtbl.t;
+  mutable next_sid : int;
+  mutable prev_bits : int64;
+}
+
+let flush w =
+  if w.pos > 0 then begin
+    w.sink (Bytes.sub_string w.seg 0 w.pos);
+    w.pos <- 0
+  end
+
+(* Upper bound on one record's encoding: tag (1) + time varint (<= 10)
+   + three int varints (<= 9 each) + packet (<= 37) + qlen (<= 9).
+   [event] reserves this once per record, so the field writers below
+   skip per-byte capacity checks — and segments always hand off at
+   record boundaries, which keeps crash truncation record-aligned. *)
+let max_record = 80
+
+let ensure w n = if w.pos + n > Bytes.length w.seg then flush w
+
+(* Unchecked writers: callers must [ensure] the total first.  They
+   thread [pos] as a value instead of re-reading the mutable field —
+   without flambda, cross-call field loads/stores on every byte are a
+   measurable share of the per-event cost; this way the encoder's
+   position stays in a register across one record and [w.pos] is
+   touched once per record. *)
+let put_byte seg pos b =
+  Bytes.unsafe_set seg pos (Char.unsafe_chr (b land 0xff));
+  pos + 1
+
+let rec put_varint seg pos n =
+  if n land lnot 0x7f = 0 then put_byte seg pos n
+  else put_varint seg (put_byte seg pos ((n land 0x7f) lor 0x80)) (n lsr 7)
+
+let rec put_varint64 seg pos (n : int64) =
+  if Int64.unsigned_compare n 0x80L < 0 then
+    put_byte seg pos (Int64.to_int n)
+  else
+    put_varint64 seg
+      (put_byte seg pos (Int64.to_int (Int64.logand n 0x7fL) lor 0x80))
+      (Int64.shift_right_logical n 7)
+
+let put_f64 seg pos f =
+  Bytes.set_int64_le seg pos (Int64.bits_of_float f);
+  pos + 8
+
+let put_raw w s =
+  let len = String.length s in
+  if w.pos + len > Bytes.length w.seg then flush w;
+  if len > Bytes.length w.seg then w.sink s
+  else begin
+    Bytes.blit_string s 0 w.seg w.pos len;
+    w.pos <- w.pos + len
+  end
+
+let writer ?(segment = 256 * 1024) sink =
+  if segment < 2 * max_record then
+    invalid_arg "Btrace.writer: segment too small";
+  let w =
+    {
+      sink;
+      seg = Bytes.create segment;
+      pos = 0;
+      strings = Hashtbl.create 32;
+      next_sid = 0;
+      prev_bits = 0L;
+    }
+  in
+  put_raw w magic;
+  ensure w 1;
+  w.pos <- put_byte w.seg w.pos version;
+  w
+
+let intern w s =
+  match Hashtbl.find_opt w.strings s with
+  | Some sid -> sid
+  | None ->
+    let sid = w.next_sid in
+    w.next_sid <- sid + 1;
+    Hashtbl.add w.strings s sid;
+    ensure w 19;
+    let pos = put_byte w.seg w.pos tag_string in
+    let pos = put_varint w.seg pos sid in
+    w.pos <- put_varint w.seg pos (String.length s);
+    put_raw w s;
+    sid
+
+let declare_link w l =
+  let name_sid = intern w (Net.Link.name l) in
+  ensure w 27;
+  let seg = w.seg in
+  let pos = put_byte seg w.pos tag_link in
+  let pos = put_varint seg pos (Net.Link.id l) in
+  let pos = put_varint seg pos name_sid in
+  w.pos <- put_f64 seg pos (Net.Link.bandwidth l)
+
+let declare_conn w conn =
+  ensure w 10;
+  let pos = put_byte w.seg w.pos tag_conn in
+  w.pos <- put_varint w.seg pos conn
+
+let zigzag d = Int64.logxor (Int64.shift_left d 1) (Int64.shift_right d 63)
+
+let unzigzag z =
+  Int64.logxor
+    (Int64.shift_right_logical z 1)
+    (Int64.neg (Int64.logand z 1L))
+
+(* Time deltas overwhelmingly fit a native int: consecutive event times
+   share sign and exponent, so the bit deltas are small.  The native
+   zigzag (sign bit is bit 62) produces the exact same bytes as the
+   int64 zigzag for any delta in (-2^61, 2^61); only the first event
+   after [prev_bits = 0] and exponent-crossing jumps take the boxed
+   int64 path.  Without flambda every Int64 intermediate is a heap
+   allocation, so this halves the per-event allocation count. *)
+let native_min = Int64.neg 0x2000000000000000L
+let native_max = 0x2000000000000000L
+
+let put_time w seg pos time =
+  let bits = Int64.bits_of_float time in
+  let delta = Int64.sub bits w.prev_bits in
+  w.prev_bits <- bits;
+  if Int64.compare delta native_min > 0 && Int64.compare delta native_max < 0
+  then begin
+    let d = Int64.to_int delta in
+    put_varint seg pos ((d lsl 1) lxor (d asr 62))
+  end
+  else put_varint64 seg pos (zigzag delta)
+
+let put_pkt seg pos (p : Net.Packet.t) =
+  let pos = put_varint seg pos p.id in
+  let pos = put_varint seg pos p.conn in
+  let pos =
+    put_byte seg pos
+      ((match p.kind with Net.Packet.Data -> 0 | Net.Packet.Ack -> 1)
+      lor (if p.retransmit then 2 else 0))
+  in
+  let pos = put_varint seg pos p.seq in
+  put_varint seg pos p.size
+
+let event w ~time (ev : Event.t) =
+  ensure w max_record;
+  let seg = w.seg in
+  w.pos <-
+    (match ev with
+     | Event.Inject p ->
+       let pos = put_byte seg w.pos tag_inject in
+       let pos = put_time w seg pos time in
+       put_pkt seg pos p
+     | Event.Deliver p ->
+       let pos = put_byte seg w.pos tag_deliver in
+       let pos = put_time w seg pos time in
+       put_pkt seg pos p
+     | Event.Enqueue { link; pkt; qlen } ->
+       let pos = put_byte seg w.pos tag_enqueue in
+       let pos = put_time w seg pos time in
+       let pos = put_varint seg pos (Net.Link.id link) in
+       let pos = put_pkt seg pos pkt in
+       put_varint seg pos qlen
+     | Event.Drop { link; pkt } ->
+       let pos = put_byte seg w.pos tag_drop in
+       let pos = put_time w seg pos time in
+       let pos = put_varint seg pos (Net.Link.id link) in
+       put_pkt seg pos pkt
+     | Event.Depart { link; pkt; qlen } ->
+       let pos = put_byte seg w.pos tag_depart in
+       let pos = put_time w seg pos time in
+       let pos = put_varint seg pos (Net.Link.id link) in
+       let pos = put_pkt seg pos pkt in
+       put_varint seg pos qlen
+     | Event.Fault { link; label; pkt } ->
+       (* Interning may emit a string-def record, so resolve the id
+          before the event's own tag byte goes out — and re-reserve,
+          since the def may have moved [pos]. *)
+       let sid = intern w label in
+       ensure w max_record;
+       let pos = put_byte seg w.pos tag_fault in
+       let pos = put_time w seg pos time in
+       let pos = put_varint seg pos (Net.Link.id link) in
+       let pos = put_varint seg pos sid in
+       put_pkt seg pos pkt
+     | Event.Send { conn; pkt } ->
+       let pos = put_byte seg w.pos tag_send in
+       let pos = put_time w seg pos time in
+       let pos = put_varint seg pos conn in
+       put_pkt seg pos pkt
+     | Event.Cwnd { conn; cwnd; ssthresh } ->
+       let pos = put_byte seg w.pos tag_cwnd in
+       let pos = put_time w seg pos time in
+       let pos = put_varint seg pos conn in
+       let pos = put_f64 seg pos cwnd in
+       put_f64 seg pos ssthresh
+     | Event.Loss { conn; reason } ->
+       let sid = intern w reason in
+       ensure w max_record;
+       let pos = put_byte seg w.pos tag_loss in
+       let pos = put_time w seg pos time in
+       let pos = put_varint seg pos conn in
+       put_varint seg pos sid
+     | Event.Ack_tx { conn; ackno; delayed; dup } ->
+       let pos = put_byte seg w.pos tag_ack_tx in
+       let pos = put_time w seg pos time in
+       let pos = put_varint seg pos conn in
+       let pos = put_varint seg pos ackno in
+       put_byte seg pos ((if delayed then 1 else 0) lor if dup then 2 else 0))
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Torn of string
+
+let read data =
+  let n = String.length data in
+  if n < 5 || String.sub data 0 4 <> magic then
+    Error "not a netsim binary trace (bad magic)"
+  else
+    let file_version = Char.code data.[4] in
+    if file_version <> version then
+      Error
+        (Printf.sprintf "unsupported binary trace version %d (expected %d)"
+           file_version version)
+    else begin
+      let pos = ref 5 in
+      let torn msg = raise (Torn msg) in
+      let read_byte () =
+        if !pos >= n then torn "truncated";
+        let b = Char.code data.[!pos] in
+        incr pos;
+        b
+      in
+      let read_varint () =
+        let rec go shift acc =
+          let b = read_byte () in
+          let acc = acc lor ((b land 0x7f) lsl shift) in
+          if b < 0x80 then acc
+          else if shift >= 56 then torn "varint too long"
+          else go (shift + 7) acc
+        in
+        go 0 0
+      in
+      let read_varint64 () =
+        let rec go shift acc =
+          let b = read_byte () in
+          let acc =
+            Int64.logor acc
+              (Int64.shift_left (Int64.of_int (b land 0x7f)) shift)
+          in
+          if b < 0x80 then acc
+          else if shift >= 63 then torn "varint too long"
+          else go (shift + 7) acc
+        in
+        go 0 0L
+      in
+      let read_f64 () =
+        if !pos + 8 > n then torn "truncated";
+        let bits = String.get_int64_le data !pos in
+        pos := !pos + 8;
+        Int64.float_of_bits bits
+      in
+      let strings : (int, string) Hashtbl.t = Hashtbl.create 32 in
+      let links : (int, link) Hashtbl.t = Hashtbl.create 8 in
+      let string_of_sid sid =
+        match Hashtbl.find_opt strings sid with
+        | Some s -> s
+        | None -> torn (Printf.sprintf "undefined string id %d" sid)
+      in
+      let link_of_id id =
+        match Hashtbl.find_opt links id with
+        | Some l -> l
+        | None -> torn (Printf.sprintf "undefined link id %d" id)
+      in
+      let read_pkt () =
+        let id = read_varint () in
+        let conn = read_varint () in
+        let flags = read_byte () in
+        let seq = read_varint () in
+        let size = read_varint () in
+        {
+          id;
+          conn;
+          kind =
+            (if flags land 1 = 0 then Net.Packet.Data else Net.Packet.Ack);
+          retransmit = flags land 2 <> 0;
+          seq;
+          size;
+        }
+      in
+      let prev_bits = ref 0L in
+      let read_time () =
+        let bits = Int64.add !prev_bits (unzigzag (read_varint64 ())) in
+        prev_bits := bits;
+        Int64.float_of_bits bits
+      in
+      let items = ref [] in
+      let count = ref 0 in
+      let torn_msg = ref None in
+      (try
+         while !pos < n do
+           let start = !pos in
+           (try
+              let tag = read_byte () in
+              if tag = tag_string then begin
+                let sid = read_varint () in
+                let len = read_varint () in
+                if len < 0 || !pos + len > n then torn "truncated string";
+                Hashtbl.replace strings sid (String.sub data !pos len);
+                pos := !pos + len
+              end
+              else if tag = tag_link then begin
+                let link_id = read_varint () in
+                let link_name = string_of_sid (read_varint ()) in
+                let bandwidth = read_f64 () in
+                let l = { link_id; link_name; bandwidth } in
+                Hashtbl.replace links link_id l;
+                items := Def_link l :: !items
+              end
+              else if tag = tag_conn then
+                items := Def_conn (read_varint ()) :: !items
+              else begin
+                let time = read_time () in
+                let ev =
+                  if tag = tag_inject then Inject (read_pkt ())
+                  else if tag = tag_deliver then Deliver (read_pkt ())
+                  else if tag = tag_enqueue then begin
+                    let link = link_of_id (read_varint ()) in
+                    let pkt = read_pkt () in
+                    Enqueue { link; pkt; qlen = read_varint () }
+                  end
+                  else if tag = tag_drop then begin
+                    let link = link_of_id (read_varint ()) in
+                    Drop { link; pkt = read_pkt () }
+                  end
+                  else if tag = tag_depart then begin
+                    let link = link_of_id (read_varint ()) in
+                    let pkt = read_pkt () in
+                    Depart { link; pkt; qlen = read_varint () }
+                  end
+                  else if tag = tag_fault then begin
+                    let link = link_of_id (read_varint ()) in
+                    let label = string_of_sid (read_varint ()) in
+                    Fault { link; label; pkt = read_pkt () }
+                  end
+                  else if tag = tag_send then begin
+                    let conn = read_varint () in
+                    Send { conn; pkt = read_pkt () }
+                  end
+                  else if tag = tag_cwnd then begin
+                    let conn = read_varint () in
+                    let cwnd = read_f64 () in
+                    Cwnd { conn; cwnd; ssthresh = read_f64 () }
+                  end
+                  else if tag = tag_loss then begin
+                    let conn = read_varint () in
+                    Loss { conn; reason = string_of_sid (read_varint ()) }
+                  end
+                  else if tag = tag_ack_tx then begin
+                    let conn = read_varint () in
+                    let ackno = read_varint () in
+                    let flags = read_byte () in
+                    Ack_tx
+                      {
+                        conn;
+                        ackno;
+                        delayed = flags land 1 <> 0;
+                        dup = flags land 2 <> 0;
+                      }
+                  end
+                  else torn (Printf.sprintf "unknown record tag 0x%02x" tag)
+                in
+                items := Event (time, ev) :: !items
+              end;
+              incr count
+            with Torn msg ->
+              torn_msg :=
+                Some
+                  (Printf.sprintf
+                     "torn record at byte %d: %s (%d complete records \
+                      recovered)"
+                     start msg !count);
+              raise Exit)
+         done
+       with Exit -> ());
+      Ok { file_version; items = List.rev !items; torn = !torn_msg }
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Offline formatters                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let add_pkt buf (p : pkt) =
+  Printf.bprintf buf ",\"id\":%d,\"conn\":%d,\"kind\":\"%s\",\"seq\":%d" p.id
+    p.conn
+    (Net.Packet.kind_to_string p.kind)
+    p.seq;
+  if p.retransmit then Buffer.add_string buf ",\"rexmt\":true"
+
+let add_link buf (l : link) =
+  Printf.bprintf buf ",\"link\":\"%s\"" (escape l.link_name)
+
+let jsonl_line ~time ev =
+  let buf = Buffer.create 96 in
+  Printf.bprintf buf "{\"t\":%s,\"ev\":\"%s\"" (Json.float_repr time)
+    (ev_label ev);
+  (match ev with
+   | Inject p | Deliver p -> add_pkt buf p
+   | Enqueue { link; pkt; qlen } | Depart { link; pkt; qlen } ->
+     add_link buf link;
+     add_pkt buf pkt;
+     Printf.bprintf buf ",\"qlen\":%d" qlen
+   | Drop { link; pkt } ->
+     add_link buf link;
+     add_pkt buf pkt
+   | Fault { link; label; pkt } ->
+     add_link buf link;
+     Printf.bprintf buf ",\"fault\":\"%s\"" (escape label);
+     add_pkt buf pkt
+   | Send { conn = _; pkt } -> add_pkt buf pkt
+   | Cwnd { conn; cwnd; ssthresh } ->
+     Printf.bprintf buf ",\"conn\":%d,\"cwnd\":%s,\"ssthresh\":%s" conn
+       (Json.float_repr cwnd) (Json.float_repr ssthresh)
+   | Loss { conn; reason } ->
+     Printf.bprintf buf ",\"conn\":%d,\"reason\":\"%s\"" conn (escape reason)
+   | Ack_tx { conn; ackno; delayed; dup } ->
+     Printf.bprintf buf ",\"conn\":%d,\"ackno\":%d,\"delayed\":%b,\"dup\":%b"
+       conn ackno delayed dup);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let export_jsonl items sink =
+  List.iter
+    (function
+      | Def_link _ | Def_conn _ -> ()
+      | Event (time, ev) ->
+        sink (jsonl_line ~time ev);
+        sink "\n")
+    items
+
+(* Chrome trace_event rendering: one process, one thread ("track" in
+   Perfetto) per link and per connection; counter tracks (queue depth,
+   cwnd) get their own lanes from their event names.  The output must
+   stay byte-identical to what the old online chrome sink produced. *)
+
+let pid = 1
+let link_tid (l : link) = 2 + l.link_id
+let conn_tid conn = 1001 + conn
+
+let pkt_name (p : pkt) =
+  Printf.sprintf "%s seq=%d%s"
+    (Net.Packet.kind_to_string p.kind)
+    p.seq
+    (if p.retransmit then " rexmt" else "")
+
+let export_chrome items sink =
+  sink "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let records = ref 0 in
+  let record s =
+    sink (if !records = 0 then "\n" else ",\n");
+    incr records;
+    sink s
+  in
+  let meta ~tid ~name =
+    record
+      (Printf.sprintf
+         "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\
+          \"args\":{\"name\":\"%s\"}}"
+         pid tid (escape name))
+  in
+  let instant ~time ~tid ~name =
+    record
+      (Printf.sprintf
+         "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\
+          \"pid\":%d,\"tid\":%d}"
+         (escape name) (1e6 *. time) pid tid)
+  in
+  let counter ~time ~name ~args =
+    record
+      (Printf.sprintf
+         "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":%d,\"args\":{%s}}"
+         (escape name) (1e6 *. time) pid args)
+  in
+  let queue_counter ~time (l : link) qlen =
+    counter ~time
+      ~name:("queue " ^ l.link_name)
+      ~args:(Printf.sprintf "\"packets\":%d" qlen)
+  in
+  record
+    (Printf.sprintf
+       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\
+        \"args\":{\"name\":\"netsim\"}}"
+       pid);
+  List.iter
+    (function
+      | Def_link l -> meta ~tid:(link_tid l) ~name:("link " ^ l.link_name)
+      | Def_conn c -> meta ~tid:(conn_tid c) ~name:(Printf.sprintf "conn %d" c)
+      | Event (time, ev) -> (
+        match ev with
+        | Inject p ->
+          instant ~time ~tid:(conn_tid p.conn) ~name:("inject " ^ pkt_name p)
+        | Deliver p ->
+          instant ~time ~tid:(conn_tid p.conn) ~name:("deliver " ^ pkt_name p)
+        | Enqueue { link; pkt = _; qlen } -> queue_counter ~time link qlen
+        | Drop { link; pkt } ->
+          instant ~time ~tid:(link_tid link) ~name:("drop " ^ pkt_name pkt)
+        | Depart { link; pkt; qlen } ->
+          (* The departure marks the end of serialization: render the
+             whole serialization interval as a complete ("X") slice on
+             the link's track, so Perfetto shows the transmitter's duty
+             cycle directly. *)
+          let tx =
+            if link.bandwidth > 0. then
+              8. *. float_of_int pkt.size /. link.bandwidth
+            else 0.
+          in
+          record
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\
+                \"pid\":%d,\"tid\":%d,\"args\":{\"conn\":%d,\"seq\":%d,\
+                \"id\":%d}}"
+               (escape (pkt_name pkt))
+               (1e6 *. (time -. tx))
+               (1e6 *. tx) pid (link_tid link) pkt.conn pkt.seq pkt.id);
+          queue_counter ~time link qlen
+        | Fault { link; label; pkt } ->
+          instant ~time ~tid:(link_tid link)
+            ~name:(Printf.sprintf "fault:%s %s" label (pkt_name pkt))
+        | Send { conn; pkt } ->
+          instant ~time ~tid:(conn_tid conn) ~name:("send " ^ pkt_name pkt)
+        | Cwnd { conn; cwnd; ssthresh } ->
+          counter ~time
+            ~name:(Printf.sprintf "cwnd conn-%d" conn)
+            ~args:
+              (Printf.sprintf "\"cwnd\":%s,\"ssthresh\":%s"
+                 (Json.float_repr cwnd) (Json.float_repr ssthresh))
+        | Loss { conn; reason } ->
+          instant ~time ~tid:(conn_tid conn) ~name:("loss:" ^ reason)
+        | Ack_tx { conn; ackno; delayed; dup } ->
+          instant ~time ~tid:(conn_tid conn)
+            ~name:
+              (Printf.sprintf "ack %d%s%s" ackno
+                 (if delayed then " delayed" else "")
+                 (if dup then " dup" else ""))))
+    items;
+  sink "\n]}\n"

@@ -1,0 +1,127 @@
+(** Compact binary trace format: the hot-path encoding behind {!Tracer}
+    plus the offline reader and JSONL / Chrome-trace formatters.
+
+    {2 Format (version 1)}
+
+    A file is a 5-byte header — the magic bytes ["NSBT"] and one
+    version byte — followed by a flat sequence of records.  Each record
+    is a tag byte and a tag-specific payload:
+
+    {v
+    0x00 string-def   varint sid, varint length, raw bytes
+    0x01 link-def     varint link id, varint name sid, f64 bandwidth
+    0x02 conn-def     varint conn id
+    0x10-0x19 event   varint64 zigzag(delta of bits_of_float time),
+                      then event-specific fields
+    v}
+
+    Integers are unsigned LEB128 varints; floats that must survive
+    bit-exactly (times, cwnd, ssthresh, bandwidth) travel as IEEE-754
+    bits, never decimal text.  Strings are interned via string-def
+    records, so the steady-state event path writes only small ints.
+
+    The {!writer} batches records into one preallocated segment buffer
+    handed to the sink only when full or on {!flush}: zero formatting
+    and zero per-event syscalls on the hot path.  {!read} is
+    torn-tolerant — a file cut mid-record (crash before the final
+    flush) yields every complete record plus a note describing the torn
+    tail. *)
+
+val magic : string
+val version : int
+
+(** {2 Decoded plain data}
+
+    Decoded events carry copies, never live model objects: packets are
+    recycled through free-lists, so archived records must not alias
+    them.  [ev] mirrors {!Event.t} field-for-field with links replaced
+    by their identity ([link_id] doubles as the Perfetto track id,
+    [bandwidth] reconstructs departure slice durations offline). *)
+
+type pkt = {
+  id : int;
+  conn : int;
+  kind : Net.Packet.kind;
+  seq : int;
+  retransmit : bool;
+  size : int;
+}
+
+type link = { link_id : int; link_name : string; bandwidth : float }
+
+type ev =
+  | Inject of pkt
+  | Deliver of pkt
+  | Enqueue of { link : link; pkt : pkt; qlen : int }
+  | Drop of { link : link; pkt : pkt }
+  | Depart of { link : link; pkt : pkt; qlen : int }
+  | Fault of { link : link; label : string; pkt : pkt }
+  | Send of { conn : int; pkt : pkt }
+  | Cwnd of { conn : int; cwnd : float; ssthresh : float }
+  | Loss of { conn : int; reason : string }
+  | Ack_tx of { conn : int; ackno : int; delayed : bool; dup : bool }
+
+type item = Def_link of link | Def_conn of int | Event of float * ev
+
+type file = {
+  file_version : int;
+  items : item list;  (** complete records, in stream order *)
+  torn : string option;
+      (** description of a torn trailing record, if the data ended
+          mid-record (all preceding complete records are in [items]) *)
+}
+
+(** Short event-kind tag, e.g. ["enqueue"]; the JSONL ["ev"] value. *)
+val ev_label : ev -> string
+
+val plain_pkt : Net.Packet.t -> pkt
+val plain_link : Net.Link.t -> link
+
+(** Copy a live event to plain data.  [link_of] maps each live link to
+    its (shared) plain record — see {!Tracer}'s per-link cache. *)
+val plain_ev : link_of:(Net.Link.t -> link) -> Event.t -> ev
+
+(** {2 Writer} *)
+
+type writer
+
+(** [writer sink] starts a binary stream: the header bytes go into the
+    segment immediately, records follow.  [segment] is the batch size
+    in bytes (default 256 KiB).
+    @raise Invalid_argument if [segment] is under two records' worth
+    (160 bytes). *)
+val writer : ?segment:int -> (string -> unit) -> writer
+
+(** Emit a link-def (and its name's string-def on first sight).  Must
+    precede the link's events in the stream. *)
+val declare_link : writer -> Net.Link.t -> unit
+
+val declare_conn : writer -> int -> unit
+
+(** Append one event record to the segment buffer. *)
+val event : writer -> time:float -> Event.t -> unit
+
+(** Hand buffered bytes to the sink.  Call on every exit path (the
+    writer never flushes on its own except when a segment fills). *)
+val flush : writer -> unit
+
+(** {2 Reader and offline formatters} *)
+
+(** Decode a complete in-memory trace.  [Error] means the data is not a
+    readable binary trace at all (bad magic or unsupported version); a
+    torn tail is NOT an error — see {!type-file}. *)
+val read : string -> (file, string) result
+
+(** One JSONL object (no trailing newline), byte-identical to the
+    historical online JSONL encoding: fixed key order, shortest
+    round-trip floats. *)
+val jsonl_line : time:float -> ev -> string
+
+(** Render all events as JSONL lines (defs are skipped). *)
+val export_jsonl : item list -> (string -> unit) -> unit
+
+(** Render a Chrome [trace_event] JSON file (loadable in Perfetto /
+    [chrome://tracing]), byte-identical to the historical online chrome
+    sink: link/conn defs become thread-name metadata, departures become
+    complete slices spanning the serialization interval. *)
+val export_chrome : item list -> (string -> unit) -> unit

@@ -23,17 +23,13 @@ let write_file path content =
     ~finally:(fun () -> close_out_noerr oc)
     (fun () -> output_string oc content)
 
-let write ~dir ~meta_json ~scenario_blob ?flight
-    ?(flight_reason = "crash bundle") ?metrics_json () =
+let write ~dir ~meta_json ~scenario_blob ?flight_text ?metrics_json () =
   try
     mkdirs dir;
     write_file (Filename.concat dir meta_file) meta_json;
     write_file (Filename.concat dir scenario_file) scenario_blob;
-    (match flight with
-     | Some ring ->
-       let buf = Buffer.create 4096 in
-       Flight.dump ring ~reason:flight_reason (Buffer.add_string buf);
-       write_file (Filename.concat dir flight_file) (Buffer.contents buf)
+    (match flight_text with
+     | Some text -> write_file (Filename.concat dir flight_file) text
      | None -> ());
     (match metrics_json with
      | Some json -> write_file (Filename.concat dir metrics_file) json

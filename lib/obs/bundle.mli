@@ -20,13 +20,13 @@ val metrics_file : string
 
 (** Write a bundle into [dir] (created, parents included, if needed;
     existing files are overwritten — bundle naming is the caller's
-    concern).  [flight_reason] labels the flight dump banner. *)
+    concern).  [flight_text] is the pre-rendered flight-recorder
+    postmortem (see {!Probe.flight_text}). *)
 val write :
   dir:string ->
   meta_json:string ->
   scenario_blob:string ->
-  ?flight:Flight.t ->
-  ?flight_reason:string ->
+  ?flight_text:string ->
   ?metrics_json:string ->
   unit ->
   (string, string) result

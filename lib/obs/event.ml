@@ -21,55 +21,3 @@ let label = function
   | Cwnd _ -> "cwnd"
   | Loss _ -> "loss"
   | Ack_tx _ -> "ack_tx"
-
-let escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let add_pkt buf (p : Net.Packet.t) =
-  Printf.bprintf buf ",\"id\":%d,\"conn\":%d,\"kind\":\"%s\",\"seq\":%d" p.id
-    p.conn
-    (Net.Packet.kind_to_string p.kind)
-    p.seq;
-  if p.retransmit then Buffer.add_string buf ",\"rexmt\":true"
-
-let add_link buf link =
-  Printf.bprintf buf ",\"link\":\"%s\"" (escape (Net.Link.name link))
-
-let to_jsonl ~time ev =
-  let buf = Buffer.create 96 in
-  Printf.bprintf buf "{\"t\":%.9g,\"ev\":\"%s\"" time (label ev);
-  (match ev with
-   | Inject p | Deliver p -> add_pkt buf p
-   | Enqueue { link; pkt; qlen } | Depart { link; pkt; qlen } ->
-     add_link buf link;
-     add_pkt buf pkt;
-     Printf.bprintf buf ",\"qlen\":%d" qlen
-   | Drop { link; pkt } ->
-     add_link buf link;
-     add_pkt buf pkt
-   | Fault { link; label; pkt } ->
-     add_link buf link;
-     Printf.bprintf buf ",\"fault\":\"%s\"" (escape label);
-     add_pkt buf pkt
-   | Send { conn = _; pkt } -> add_pkt buf pkt
-   | Cwnd { conn; cwnd; ssthresh } ->
-     Printf.bprintf buf ",\"conn\":%d,\"cwnd\":%.9g,\"ssthresh\":%.9g" conn
-       cwnd ssthresh
-   | Loss { conn; reason } ->
-     Printf.bprintf buf ",\"conn\":%d,\"reason\":\"%s\"" conn (escape reason)
-   | Ack_tx { conn; ackno; delayed; dup } ->
-     Printf.bprintf buf ",\"conn\":%d,\"ackno\":%d,\"delayed\":%b,\"dup\":%b"
-       conn ackno delayed dup);
-  Buffer.add_char buf '}';
-  Buffer.contents buf

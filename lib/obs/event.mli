@@ -1,6 +1,11 @@
 (** Typed structured-trace events: the packet lifecycle through the
     network plus TCP state transitions.  Events are constructed only when
-    a {!Tracer} sink is installed; the disabled path never sees them. *)
+    a {!Tracer} sink is installed; the disabled path never sees them.
+
+    Events reference live model objects (packets are recycled through
+    free-lists), so they are only valid during the emitting hook call —
+    anything that outlives the hook ({!Btrace} records, the {!Flight}
+    ring) copies the fields it needs. *)
 
 type t =
   | Inject of Net.Packet.t  (** packet entered the network at its source *)
@@ -17,7 +22,3 @@ type t =
 
 (** Short event-kind tag, e.g. ["enqueue"]; also the JSONL ["ev"] value. *)
 val label : t -> string
-
-(** One JSON object (no trailing newline): [{"t":<time>,"ev":<label>,...}].
-    Deterministic: fixed key order, [%.9g] floats. *)
-val to_jsonl : time:float -> t -> string

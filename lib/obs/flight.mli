@@ -1,30 +1,47 @@
-(** Flight recorder: a bounded ring of the most recent trace lines.
+(** Flight recorder: a bounded ring of the most recent trace records.
 
-    The recorder keeps the last [capacity] rendered JSONL lines so that
-    when something goes wrong mid-run — an invariant checker fires, a
-    fault experiment diverges, [Sim.run] raises — the events leading up
-    to the failure can be dumped as a postmortem instead of being lost
-    with the process. *)
+    The recorder keeps the last [capacity] entries so that when
+    something goes wrong mid-run — an invariant checker fires, a fault
+    experiment diverges, [Sim.run] raises — the events leading up to
+    the failure can be dumped as a postmortem instead of being lost
+    with the process.
 
-type t
+    Entries are plain values copied in at record time; the ring never
+    holds live model objects (packets are recycled through free-lists,
+    so retaining one past the emitting hook would alias recycled
+    state).
+
+    Slot selection uses an explicit wrapping cursor, never
+    [total mod capacity]: [total] only reports how many entries were
+    ever recorded and saturates at [max_int] instead of wrapping
+    negative. *)
+
+type 'a t
 
 (** @raise Invalid_argument if [capacity < 1]. *)
-val create : capacity:int -> t
+val create : capacity:int -> 'a t
 
-val capacity : t -> int
+val capacity : 'a t -> int
 
 (** Entries currently held (at most [capacity]). *)
-val length : t -> int
+val length : 'a t -> int
 
-(** Total entries ever recorded, including overwritten ones. *)
-val total : t -> int
+(** Total entries ever recorded, including overwritten ones.
+    Saturates at [max_int]. *)
+val total : 'a t -> int
 
-val record : t -> string -> unit
+val record : 'a t -> 'a -> unit
+
+(** Test hook: overwrite the ever-recorded count (ring contents are
+    untouched) to exercise the saturation boundary.
+    @raise Invalid_argument if [n] is less than {!length}. *)
+val force_total : 'a t -> int -> unit
 
 (** Held entries, oldest first. *)
-val entries : t -> string list
+val entries : 'a t -> 'a list
 
-(** [dump t ~reason write] sends a postmortem to [write]: a banner naming
-    [reason] and how many of the total events are shown, then each held
-    line, oldest first, each terminated with a newline. *)
-val dump : t -> reason:string -> (string -> unit) -> unit
+(** [dump t ~reason ~render write] sends a postmortem to [write]: a
+    banner naming [reason] and how many of the total events are shown,
+    then each held entry through [render], oldest first, each
+    terminated with a newline. *)
+val dump : 'a t -> reason:string -> render:('a -> string) -> (string -> unit) -> unit

@@ -100,7 +100,7 @@ let float_json f =
   if Float.is_nan f || Float.abs f = Float.infinity then "null"
   else if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.0f" f
-  else Printf.sprintf "%.9g" f
+  else Json.float_repr f
 
 let escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -128,29 +128,57 @@ let to_json t =
 (* Periodic recording                                                  *)
 (* ------------------------------------------------------------------ *)
 
+(* The sample path walks two preallocated arrays fixed at [record]
+   time — the cells in registration order and one series per expanded
+   name — so a tick allocates nothing beyond the series' own amortized
+   growth (no snapshot lists, no name strings). *)
 type recorder = {
-  registry : t;
   sim : Engine.Sim.t;
   dt : float;
-  series : (string * Trace.Series.t) list; (* registration order, fixed *)
+  cells : cell array; (* registration order, fixed *)
+  names : string array; (* expanded, registration order *)
+  series : Trace.Series.t array; (* parallel to [names] *)
   timer : Engine.Sim.Timer.timer;
 }
 
 let sample r =
   let now = Engine.Sim.now r.sim in
-  List.iter2
-    (fun (_, series) (_, v) -> Trace.Series.add series ~time:now ~value:v)
-    r.series (snapshot r.registry)
+  let j = ref 0 in
+  let push v =
+    Trace.Series.add r.series.(!j) ~time:now ~value:v;
+    incr j
+  in
+  Array.iter
+    (fun cell ->
+      match cell with
+      | Counter c -> push (float_of_int !c)
+      | Gauge g -> push g.(0)
+      | Gauge_fn f -> push (f ())
+      | Histogram h ->
+        let n = Array.length h.bounds in
+        let cumulative = ref 0 in
+        for i = 0 to n - 1 do
+          cumulative := !cumulative + h.counts.(i);
+          push (float_of_int !cumulative)
+        done;
+        let total = float_of_int (!cumulative + h.counts.(n)) in
+        push total;
+        push total)
+    r.cells
 
 let record t sim ~dt =
   if Float.is_nan dt || dt <= 0. then
     invalid_arg "Metrics.record: dt must be positive";
-  let series =
-    List.map (fun (name, _) -> (name, Trace.Series.create ())) (snapshot t)
-  in
+  let names = Array.of_list (List.map fst (snapshot t)) in
   let r =
-    { registry = t; sim; dt; series;
-      timer = Engine.Sim.Timer.create sim (fun () -> ()) }
+    {
+      sim;
+      dt;
+      cells = Array.of_list (List.rev_map (fun m -> m.cell) t.metrics);
+      names;
+      series = Array.map (fun _ -> Trace.Series.create ()) names;
+      timer = Engine.Sim.Timer.create sim (fun () -> ());
+    }
   in
   Engine.Sim.Timer.set_action r.timer (fun () ->
       sample r;
@@ -159,4 +187,5 @@ let record t sim ~dt =
   Engine.Sim.Timer.set r.timer ~delay:dt;
   r
 
-let recorder_series r = r.series
+let recorder_series r =
+  List.init (Array.length r.names) (fun i -> (r.names.(i), r.series.(i)))

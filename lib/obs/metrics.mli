@@ -58,8 +58,9 @@ val snapshot : t -> (string * float) list
 (** Value of one snapshot entry, by expanded name. *)
 val find : t -> string -> float option
 
-(** Deterministic JSON object over {!snapshot}: fixed key order, [%.9g]
-    floats, integral values printed without a fractional part. *)
+(** Deterministic JSON object over {!snapshot}: fixed key order,
+    shortest round-trip floats ({!Json.float_repr}), integral values
+    printed without a fractional part, non-finite values as [null]. *)
 val to_json : t -> string
 
 (** {2 Periodic snapshots into step series}
@@ -68,7 +69,10 @@ val to_json : t -> string
     simulated-time cadence, appending to one {!Trace.Series.t} per
     expanded metric name.  The sampling event is pure observation — it
     reads cells and appends to series, never touches model state — so
-    enabling it cannot change simulation results. *)
+    enabling it cannot change simulation results.  A tick walks
+    preallocated rows fixed at {!record} time (no snapshot lists, no
+    name strings), so sampling overhead is just the cell reads and the
+    series appends. *)
 
 type recorder
 

@@ -1,22 +1,20 @@
 type setup = {
   metrics : bool;
   series_dt : float option;
-  jsonl : Tracer.sink option;
-  chrome : Tracer.sink option;
+  btrace : Tracer.sink option;
   flight : int option;
   flight_sink : Tracer.sink;
 }
 
-let setup ?(metrics = true) ?series_dt ?jsonl ?chrome ?flight ?flight_sink () =
+let setup ?(metrics = true) ?series_dt ?btrace ?flight ?flight_sink () =
   let flight_sink =
     match flight_sink with Some s -> s | None -> prerr_string
   in
-  { metrics; series_dt; jsonl; chrome; flight; flight_sink }
+  { metrics; series_dt; btrace; flight; flight_sink }
 
 let disabled = setup ~metrics:false ()
 
-let is_enabled s =
-  s.metrics || s.jsonl <> None || s.chrome <> None || s.flight <> None
+let is_enabled s = s.metrics || s.btrace <> None || s.flight <> None
 
 type t = {
   registry : Metrics.t option;
@@ -138,12 +136,11 @@ let wire_conn ~registry ~tr (cid, conn) =
 let attach setup ~net ~conns =
   let sim = Net.Network.sim net in
   let tr =
-    if setup.jsonl <> None || setup.chrome <> None || setup.flight <> None
-    then
+    if setup.btrace <> None || setup.flight <> None then
       let flight =
         Option.map (fun capacity -> Flight.create ~capacity) setup.flight
       in
-      Some (Tracer.create ?jsonl:setup.jsonl ?chrome:setup.chrome ?flight sim)
+      Some (Tracer.create ?btrace:setup.btrace ?flight sim)
     else None
   in
   let registry = if setup.metrics then Some (Metrics.create ()) else None in
@@ -180,8 +177,18 @@ let flight t = Option.bind t.tr Tracer.flight
 
 let dump_flight t ~reason =
   match flight t with
-  | Some f -> Flight.dump f ~reason t.flight_sink
+  | Some f ->
+    Flight.dump f ~reason ~render:Tracer.render_flight t.flight_sink
   | None -> ()
+
+let flight_text t ~reason =
+  match flight t with
+  | Some f ->
+    let buf = Buffer.create 4096 in
+    Flight.dump f ~reason ~render:Tracer.render_flight
+      (Buffer.add_string buf);
+    Some (Buffer.contents buf)
+  | None -> None
 
 let arm_report t report =
   Validate.Report.on_violation report (fun v ->

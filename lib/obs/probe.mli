@@ -17,14 +17,14 @@ type setup
       histograms for the simulator, every link, and every connection.
     - [series_dt]: additionally sample every metric each [series_dt]
       simulated seconds into step series (see {!Metrics.record}).
-    - [jsonl] / [chrome]: trace sinks (see {!Tracer.create}).
-    - [flight]: keep a flight-recorder ring of the last [n] trace lines.
+    - [btrace]: binary trace sink (see {!Tracer.create}); convert
+      offline with {!Btrace} or [netsim trace export].
+    - [flight]: keep a flight-recorder ring of the last [n] events.
     - [flight_sink] (default stderr): where {!dump_flight} writes. *)
 val setup :
   ?metrics:bool ->
   ?series_dt:float ->
-  ?jsonl:Tracer.sink ->
-  ?chrome:Tracer.sink ->
+  ?btrace:Tracer.sink ->
   ?flight:int ->
   ?flight_sink:Tracer.sink ->
   unit ->
@@ -50,12 +50,17 @@ val arm_report : t -> Validate.Report.t -> unit
 (** Dump the flight ring to the configured sink, if a ring exists. *)
 val dump_flight : t -> reason:string -> unit
 
-(** Close trace outputs (Chrome file footer).  Idempotent. *)
+(** Rendered flight-ring postmortem (banner + JSONL lines), or [None]
+    without a ring — what crash bundles embed as [flight.txt]. *)
+val flight_text : t -> reason:string -> string option
+
+(** Flush buffered binary trace records to the sink.  Idempotent; runs
+    on both success and exception paths of {!Core.Runner.run}. *)
 val finish : t -> unit
 
 val metrics : t -> Metrics.t option
 val tracer : t -> Tracer.t option
-val flight : t -> Flight.t option
+val flight : t -> Tracer.flight_record Flight.t option
 
 (** Final scalar snapshot of every metric ([[]] without a registry). *)
 val final_metrics : t -> (string * float) list

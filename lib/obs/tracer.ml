@@ -1,173 +1,73 @@
 type sink = string -> unit
 
+type flight_record = float * Btrace.ev
+
 type t = {
   sim : Engine.Sim.t;
-  jsonl : sink option;
-  chrome : sink option;
-  flight : Flight.t option;
+  writer : Btrace.writer option;
+  flight : flight_record Flight.t option;
+  link_cache : (int, Btrace.link) Hashtbl.t;
   mutable emitted : int;
-  mutable chrome_records : int; (* comma discipline in the JSON array *)
   mutable finished : bool;
 }
 
-(* ------------------------------------------------------------------ *)
-(* Chrome trace_event plumbing                                         *)
-(* ------------------------------------------------------------------ *)
+let create ?btrace ?flight sim =
+  {
+    sim;
+    writer = Option.map (fun s -> Btrace.writer s) btrace;
+    flight;
+    link_cache = Hashtbl.create 8;
+    emitted = 0;
+    finished = false;
+  }
 
-(* One process, one thread ("track" in Perfetto) per link and per
-   connection.  Counter tracks (queue depth, cwnd) get their own lanes
-   automatically from their event names. *)
-let pid = 1
-let link_tid link = 2 + Net.Link.id link
-let conn_tid conn = 1001 + conn
-
-let chrome_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let chrome_record t record =
-  match t.chrome with
-  | None -> ()
-  | Some write ->
-    write (if t.chrome_records = 0 then "\n" else ",\n");
-    t.chrome_records <- t.chrome_records + 1;
-    write record
-
-let meta t ~tid ~name =
-  chrome_record t
-    (Printf.sprintf
-       "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\
-        \"args\":{\"name\":\"%s\"}}"
-       pid tid (chrome_escape name))
-
-let create ?jsonl ?chrome ?flight sim =
-  let t =
-    { sim; jsonl; chrome; flight; emitted = 0; chrome_records = 0;
-      finished = false }
-  in
-  (match chrome with
-   | None -> ()
-   | Some write ->
-     write "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-     chrome_record t
-       (Printf.sprintf
-          "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\
-           \"args\":{\"name\":\"netsim\"}}"
-          pid));
-  t
+let link_of t l =
+  let id = Net.Link.id l in
+  match Hashtbl.find_opt t.link_cache id with
+  | Some pl -> pl
+  | None ->
+    let pl = Btrace.plain_link l in
+    Hashtbl.add t.link_cache id pl;
+    pl
 
 let declare_link t link =
-  meta t ~tid:(link_tid link) ~name:("link " ^ Net.Link.name link)
+  ignore (link_of t link : Btrace.link);
+  match t.writer with
+  | Some w -> Btrace.declare_link w link
+  | None -> ()
 
 let declare_conn t conn =
-  meta t ~tid:(conn_tid conn) ~name:(Printf.sprintf "conn %d" conn)
-
-let instant t ~time ~tid ~name =
-  chrome_record t
-    (Printf.sprintf
-       "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,\
-        \"pid\":%d,\"tid\":%d}"
-       (chrome_escape name) (1e6 *. time) pid tid)
-
-let counter t ~time ~name ~args =
-  chrome_record t
-    (Printf.sprintf
-       "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":%d,\"args\":{%s}}"
-       (chrome_escape name) (1e6 *. time) pid args)
-
-let queue_counter t ~time link qlen =
-  counter t ~time
-    ~name:("queue " ^ Net.Link.name link)
-    ~args:(Printf.sprintf "\"packets\":%d" qlen)
-
-let pkt_name (p : Net.Packet.t) =
-  Printf.sprintf "%s seq=%d%s"
-    (Net.Packet.kind_to_string p.kind)
-    p.seq
-    (if p.retransmit then " rexmt" else "")
-
-let chrome_emit t ~time ev =
-  match (ev : Event.t) with
-  | Inject p -> instant t ~time ~tid:(conn_tid p.conn) ~name:("inject " ^ pkt_name p)
-  | Deliver p ->
-    instant t ~time ~tid:(conn_tid p.conn) ~name:("deliver " ^ pkt_name p)
-  | Enqueue { link; pkt = _; qlen } -> queue_counter t ~time link qlen
-  | Drop { link; pkt } ->
-    instant t ~time ~tid:(link_tid link) ~name:("drop " ^ pkt_name pkt)
-  | Depart { link; pkt; qlen } ->
-    (* The departure marks the end of serialization: render the whole
-       serialization interval as a complete ("X") slice on the link's
-       track, so Perfetto shows the transmitter's duty cycle directly. *)
-    let tx = Net.Link.tx_time link ~bytes:pkt.Net.Packet.size in
-    chrome_record t
-      (Printf.sprintf
-         "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\
-          \"pid\":%d,\"tid\":%d,\"args\":{\"conn\":%d,\"seq\":%d,\"id\":%d}}"
-         (chrome_escape (pkt_name pkt))
-         (1e6 *. (time -. tx))
-         (1e6 *. tx) pid (link_tid link) pkt.Net.Packet.conn
-         pkt.Net.Packet.seq pkt.Net.Packet.id);
-    queue_counter t ~time link qlen
-  | Fault { link; label; pkt } ->
-    instant t ~time ~tid:(link_tid link)
-      ~name:(Printf.sprintf "fault:%s %s" label (pkt_name pkt))
-  | Send { conn; pkt } ->
-    instant t ~time ~tid:(conn_tid conn) ~name:("send " ^ pkt_name pkt)
-  | Cwnd { conn; cwnd; ssthresh } ->
-    counter t ~time
-      ~name:(Printf.sprintf "cwnd conn-%d" conn)
-      ~args:
-        (Printf.sprintf "\"cwnd\":%.9g,\"ssthresh\":%.9g" cwnd ssthresh)
-  | Loss { conn; reason } ->
-    instant t ~time ~tid:(conn_tid conn) ~name:("loss:" ^ reason)
-  | Ack_tx { conn; ackno; delayed; dup } ->
-    instant t ~time ~tid:(conn_tid conn)
-      ~name:
-        (Printf.sprintf "ack %d%s%s" ackno
-           (if delayed then " delayed" else "")
-           (if dup then " dup" else ""))
+  match t.writer with Some w -> Btrace.declare_conn w conn | None -> ()
 
 let emit t ev =
   let time = Engine.Sim.now t.sim in
   t.emitted <- t.emitted + 1;
-  (match (t.jsonl, t.flight) with
-   | None, None -> ()
-   | jsonl, flight ->
-     let line = Event.to_jsonl ~time ev in
-     (match jsonl with
-      | Some write ->
-        write line;
-        write "\n"
-      | None -> ());
-     (match flight with Some f -> Flight.record f line | None -> ()));
-  if t.chrome <> None then chrome_emit t ~time ev
+  (match t.writer with Some w -> Btrace.event w ~time ev | None -> ());
+  match t.flight with
+  | Some f ->
+    (* The ring outlives the emitting hook, so it stores a plain copy;
+       the live packet in [ev] is recycled as soon as the hook returns. *)
+    Flight.record f (time, Btrace.plain_ev ~link_of:(link_of t) ev)
+  | None -> ()
 
 let events_emitted t = t.emitted
 let flight t = t.flight
 
+let render_flight (time, ev) = Btrace.jsonl_line ~time ev
+
 let finish t =
   if not t.finished then begin
     t.finished <- true;
-    match t.chrome with None -> () | Some write -> write "\n]}\n"
+    match t.writer with Some w -> Btrace.flush w | None -> ()
   end
 
 let with_file_sink path f =
-  let oc = open_out path in
+  let oc = open_out_bin path in
   Fun.protect
     ~finally:(fun () ->
-      (* Flush-and-close even when [f] raises: channel buffering cuts
-         lines at arbitrary byte boundaries, so an unflushed buffer at
-         abort time would leave a torn JSONL file. *)
+      (* Flush-and-close even when [f] raises, so everything the writer
+         handed to the sink reaches the file; the binary reader recovers
+         every complete record from such a prefix. *)
       try
         flush oc;
         close_out oc

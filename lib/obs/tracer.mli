@@ -1,43 +1,60 @@
-(** Structured event tracer: fans each {!Event.t} out to the installed
-    sinks — a JSONL stream, a Chrome [trace_event] file (loadable in
-    Perfetto / [chrome://tracing]), and/or a {!Flight} ring.
+(** Structured event tracer: stamps each {!Event.t} with simulated time
+    and hands it to the binary {!Btrace} writer and/or a {!Flight} ring.
 
-    A sink is just [string -> unit]; callers hand in
-    [output_string oc] or [Buffer.add_string buf].  With no sinks
-    installed nothing is formatted; installers (see {!Probe}) only hook
-    the simulation at all when at least one sink exists, so the
-    zero-sink run pays nothing. *)
+    The hot path does zero formatting and zero per-event syscalls: the
+    writer appends fixed-width binary records to a preallocated segment
+    buffer and the sink sees only large batches.  Text formats (JSONL,
+    Chrome trace) are produced offline from the binary stream — see
+    {!Btrace.export_jsonl} / {!Btrace.export_chrome} and the
+    [netsim trace export] subcommand.
+
+    A sink is just [string -> unit]; callers hand in [output_string oc]
+    or [Buffer.add_string buf].  With no sink and no ring installed
+    nothing is recorded; installers (see {!Probe}) only hook the
+    simulation at all when a consumer exists, so the zero-sink run pays
+    nothing. *)
 
 type sink = string -> unit
+
+(** What the flight ring stores: event time plus a plain-data copy of
+    the event (live packets are recycled after the emitting hook). *)
+type flight_record = float * Btrace.ev
 
 type t
 
 val create :
-  ?jsonl:sink -> ?chrome:sink -> ?flight:Flight.t -> Engine.Sim.t -> t
+  ?btrace:sink -> ?flight:flight_record Flight.t -> Engine.Sim.t -> t
 
-(** Declare one Perfetto track per link / per connection (thread-name
-    metadata records).  Call before the corresponding events are emitted;
-    no-ops without a chrome sink. *)
+(** Declare a link / connection in the binary stream (and prime the
+    tracer's plain-link cache).  Call before the corresponding events
+    are emitted. *)
 val declare_link : t -> Net.Link.t -> unit
 
 val declare_conn : t -> int -> unit
 
-(** Stamp the event with the current simulated time and write it to every
-    sink. *)
+(** Stamp the event with the current simulated time, append its binary
+    record, and copy it into the flight ring if one is armed. *)
 val emit : t -> Event.t -> unit
 
-(** Events emitted so far (across all sinks). *)
+(** Events emitted so far. *)
 val events_emitted : t -> int
 
-val flight : t -> Flight.t option
+val flight : t -> flight_record Flight.t option
 
-(** Write the Chrome file's closing bracket.  Idempotent; JSONL needs no
-    finalization. *)
+(** Render one flight-ring record as its JSONL line (for postmortem
+    dumps). *)
+val render_flight : flight_record -> string
+
+(** Flush the binary writer's segment buffer to the sink.  Idempotent;
+    must run on every exit path (the {!Core.Runner} calls it on both
+    success and exception unwinds). *)
 val finish : t -> unit
 
-(** [with_file_sink path f] opens [path], passes [output_string oc] to
-    [f], and — via [Fun.protect] — flushes and closes the channel on
-    every exit path, including exceptions.  A traced run that crashes
-    mid-simulation therefore leaves a parseable JSONL prefix (whole
-    lines), never a file torn mid-line by channel buffering. *)
+(** [with_file_sink path f] opens [path] (binary mode), passes
+    [output_string oc] to [f], and — via [Fun.protect] — flushes and
+    closes the channel on every exit path, including exceptions.
+    Callers must still {!finish} the tracer inside [f]'s protection if
+    they want the last partial segment on disk; a crash between batches
+    leaves a prefix from which {!Btrace.read} recovers every complete
+    record. *)
 val with_file_sink : string -> (sink -> 'a) -> 'a

@@ -2,10 +2,14 @@
    one-way run on the long-wire dumbbell (the quickstart scenario cut to
    12 simulated seconds so the file stays reviewable).
 
+   The run records the compact binary trace and the JSONL is produced by
+   the offline exporter — exactly the [netsim trace export] pipeline —
+   so this golden pins both the event stream and the binary round trip.
+
    The output is diffed against the committed [trace_golden.jsonl] by the
-   [runtest] alias.  Any change to packet timing, hook ordering, or the
-   JSONL encoding shows up as a diff; an intentional change is accepted
-   with
+   [runtest] alias.  Any change to packet timing, hook ordering, the
+   binary encoding or the JSONL rendering shows up as a diff; an
+   intentional change is accepted with
 
      dune promote test/golden/trace_golden.jsonl *)
 
@@ -18,7 +22,7 @@ let () =
   let buf = Buffer.create (1 lsl 16) in
   let r =
     Core.Runner.run
-      ~obs:(Obs.Probe.setup ~metrics:false ~jsonl:(Buffer.add_string buf) ())
+      ~obs:(Obs.Probe.setup ~metrics:false ~btrace:(Buffer.add_string buf) ())
       scenario
   in
   (match Core.Runner.validation_report r with
@@ -26,4 +30,8 @@ let () =
      prerr_endline (Validate.Report.to_string report);
      failwith "golden trace scenario violated an invariant"
    | _ -> ());
-  print_string (Buffer.contents buf)
+  match Obs.Btrace.read (Buffer.contents buf) with
+  | Error msg -> failwith ("golden binary trace unreadable: " ^ msg)
+  | Ok { Obs.Btrace.torn = Some msg; _ } ->
+    failwith ("golden binary trace has a torn tail: " ^ msg)
+  | Ok { Obs.Btrace.items; _ } -> Obs.Btrace.export_jsonl items print_string

@@ -1,0 +1,198 @@
+(* Binary trace format (lib/obs/btrace.ml): encode/decode round trips
+   every event kind bit-exactly, the reader rejects non-traces, and —
+   the crash-safety property — any prefix of a valid stream decodes to
+   an exact prefix of its records, with a torn tail reported instead of
+   an error. *)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let item_to_string = function
+  | Obs.Btrace.Def_link l ->
+    Printf.sprintf "def_link %d %S %h" l.Obs.Btrace.link_id
+      l.Obs.Btrace.link_name l.Obs.Btrace.bandwidth
+  | Obs.Btrace.Def_conn c -> Printf.sprintf "def_conn %d" c
+  | Obs.Btrace.Event (t, ev) ->
+    Printf.sprintf "%h %s" t (Obs.Btrace.jsonl_line ~time:t ev)
+
+let item : Obs.Btrace.item Alcotest.testable =
+  Alcotest.testable
+    (fun ppf i -> Format.pp_print_string ppf (item_to_string i))
+    (* Polymorphic equality is exact here: plain records of ints,
+       strings, bools and (finite, bit-identical) floats. *)
+    (fun a b -> a = b)
+
+(* A tiny real network: btrace encodes live packets and links, so the
+   fixture needs genuine [Net] values, not mocks. *)
+let fixture () =
+  let sim = Engine.Sim.create () in
+  let net = Net.Network.create sim in
+  let h1 = Net.Network.add_host net ~name:"h1" ~proc_delay:1e-4 in
+  let h2 = Net.Network.add_host net ~name:"h2" ~proc_delay:1e-4 in
+  let fwd, bwd =
+    Net.Network.add_duplex net ~src:h1 ~dst:h2 ~bandwidth:1e6 ~prop_delay:0.01
+      ~buffer:(Some 10)
+  in
+  let pkt ?(kind = Net.Packet.Data) ?(retransmit = false) seq =
+    Net.Network.make_packet net ~conn:1 ~kind ~seq ~size:500 ~src:h1 ~dst:h2
+      ~retransmit
+  in
+  (net, fwd, bwd, pkt)
+
+(* Encode one of everything (awkward times included: 0.1 +. 0.2 needs 17
+   digits, 1e-9 exercises a large negative exponent jump) and return the
+   byte stream plus the expected decoded items. *)
+let encode_all () =
+  let _net, fwd, bwd, pkt = fixture () in
+  let p0 = pkt 0 in
+  let p1 = pkt ~retransmit:true 1 in
+  let ack = pkt ~kind:Net.Packet.Ack 2 in
+  let events =
+    [
+      (0., Obs.Event.Inject p0);
+      (1e-9, Obs.Event.Enqueue { link = fwd; pkt = p0; qlen = 3 });
+      (0.1, Obs.Event.Depart { link = fwd; pkt = p0; qlen = 2 });
+      (0.1 +. 0.2, Obs.Event.Drop { link = fwd; pkt = p1 });
+      (0.5, Obs.Event.Fault { link = bwd; label = "blackout"; pkt = ack });
+      (0.5, Obs.Event.Deliver p0);
+      (2.25, Obs.Event.Send { conn = 1; pkt = p1 });
+      (3., Obs.Event.Cwnd { conn = 1; cwnd = 2.5; ssthresh = 11.25 });
+      (3., Obs.Event.Loss { conn = 1; reason = "timeout" });
+      (4., Obs.Event.Loss { conn = 1; reason = "dup_ack" });
+      (5.5, Obs.Event.Ack_tx { conn = 1; ackno = 7; delayed = true; dup = false });
+    ]
+  in
+  let buf = Buffer.create 1024 in
+  let w = Obs.Btrace.writer ~segment:160 (Buffer.add_string buf) in
+  Obs.Btrace.declare_link w fwd;
+  Obs.Btrace.declare_link w bwd;
+  Obs.Btrace.declare_conn w 1;
+  List.iter (fun (time, ev) -> Obs.Btrace.event w ~time ev) events;
+  Obs.Btrace.flush w;
+  let link_of l = Obs.Btrace.plain_link l in
+  let expected =
+    Obs.Btrace.Def_link (Obs.Btrace.plain_link fwd)
+    :: Obs.Btrace.Def_link (Obs.Btrace.plain_link bwd)
+    :: Obs.Btrace.Def_conn 1
+    :: List.map
+         (fun (t, ev) -> Obs.Btrace.Event (t, Obs.Btrace.plain_ev ~link_of ev))
+         events
+  in
+  (Buffer.contents buf, expected)
+
+let test_roundtrip () =
+  let data, expected = encode_all () in
+  Alcotest.(check string) "magic leads the stream" Obs.Btrace.magic
+    (String.sub data 0 4);
+  match Obs.Btrace.read data with
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+  | Ok { Obs.Btrace.file_version; items; torn } ->
+    Alcotest.(check int) "version" Obs.Btrace.version file_version;
+    Alcotest.(check (option string)) "no torn tail" None torn;
+    Alcotest.(check (list item)) "every record round-trips" expected items
+
+let test_reject_non_traces () =
+  (match Obs.Btrace.read "" with
+   | Error msg ->
+     Alcotest.(check bool) "empty names the magic" true (contains msg "magic")
+   | Ok _ -> Alcotest.fail "empty string accepted");
+  (match Obs.Btrace.read "{\"t\":0,\"ev\":\"inject\"}\n" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "JSONL accepted as binary");
+  match Obs.Btrace.read (Obs.Btrace.magic ^ "\xff") with
+  | Error msg ->
+    Alcotest.(check bool) "unknown version named" true (contains msg "version")
+  | Ok _ -> Alcotest.fail "unknown version accepted"
+
+(* Crash-safety: cut the stream at EVERY byte boundary.  Each prefix
+   must decode to an exact prefix of the full record list — never an
+   error, never a corrupted record — and a cut that lands mid-record
+   must say so. *)
+let test_every_truncation_recovers () =
+  let data, expected = encode_all () in
+  let full = Array.of_list expected in
+  let saw_torn = ref 0 in
+  for len = 5 to String.length data - 1 do
+    match Obs.Btrace.read (String.sub data 0 len) with
+    | Error msg -> Alcotest.failf "prefix of %d bytes unreadable: %s" len msg
+    | Ok { Obs.Btrace.items; torn; _ } ->
+      (match torn with
+       | Some msg ->
+         incr saw_torn;
+         Alcotest.(check bool)
+           (Printf.sprintf "torn note locates the cut (len %d)" len)
+           true
+           (contains msg "torn record at byte")
+       | None -> ());
+      List.iteri
+        (fun i got ->
+          if i >= Array.length full || got <> full.(i) then
+            Alcotest.failf
+              "prefix of %d bytes decoded a record not in the original: %s"
+              len (item_to_string got))
+        items;
+      (* String-defs are records too, so a prefix may hold fewer
+         exported items than bytes suggest — but never more. *)
+      Alcotest.(check bool) "no invented records" true
+        (List.length items <= Array.length full)
+  done;
+  Alcotest.(check bool) "some cuts landed mid-record" true (!saw_torn > 0)
+
+let test_truncation_keeps_complete_records () =
+  let data, expected = encode_all () in
+  (* Drop one byte: exactly the final record is lost, everything before
+     it survives complete. *)
+  match Obs.Btrace.read (String.sub data 0 (String.length data - 1)) with
+  | Error msg -> Alcotest.failf "truncated trace unreadable: %s" msg
+  | Ok { Obs.Btrace.items; torn; _ } ->
+    Alcotest.(check int) "all but the cut record recovered"
+      (List.length expected - 1)
+      (List.length items);
+    (match torn with
+     | Some msg ->
+       (* The recovered count in the note also includes string-def
+          records, which never surface as items; just pin the shape. *)
+       Alcotest.(check bool) "note counts recovered records" true
+         (contains msg "complete records recovered")
+     | None -> Alcotest.fail "mid-record cut not reported")
+
+let test_export_jsonl_matches_line_renderer () =
+  let data, _ = encode_all () in
+  match Obs.Btrace.read data with
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+  | Ok { Obs.Btrace.items; _ } ->
+    let buf = Buffer.create 1024 in
+    Obs.Btrace.export_jsonl items (Buffer.add_string buf);
+    let expected =
+      List.filter_map
+        (function
+          | Obs.Btrace.Event (t, ev) -> Some (Obs.Btrace.jsonl_line ~time:t ev)
+          | _ -> None)
+        items
+    in
+    Alcotest.(check (list string))
+      "export is the line renderer over events"
+      expected
+      (String.split_on_char '\n' (Buffer.contents buf)
+      |> List.filter (fun l -> l <> ""));
+    (* Bit-awkward floats keep their exact spelling through the binary
+       hop: 0.1 +. 0.2 is not 0.3. *)
+    Alcotest.(check bool) "17-digit time preserved" true
+      (contains (Buffer.contents buf) "{\"t\":0.30000000000000004,")
+
+let suite =
+  ( "btrace",
+    [
+      Alcotest.test_case "all event kinds round-trip bit-exactly" `Quick
+        test_roundtrip;
+      Alcotest.test_case "non-traces rejected with a reason" `Quick
+        test_reject_non_traces;
+      Alcotest.test_case "every truncation yields a clean prefix" `Quick
+        test_every_truncation_recovers;
+      Alcotest.test_case "one lost byte loses one record" `Quick
+        test_truncation_keeps_complete_records;
+      Alcotest.test_case "jsonl export matches the line renderer" `Quick
+        test_export_jsonl_matches_line_renderer;
+    ] )

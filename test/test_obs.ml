@@ -2,11 +2,14 @@
    probe that wires them into a run.
 
    The two integration statements that matter most:
-     - the JSONL trace of a run is valid (parseable, monotone timestamps)
-       and its event counts agree exactly with the metrics counters that
-       were incremented by the same hooks;
+     - the binary trace of a run decodes cleanly, its JSONL export is
+       valid (parseable, monotone timestamps) and its event counts agree
+       exactly with the metrics counters incremented by the same hooks;
      - attaching the full probe does not change simulation results
-       (byte-identical traces), checked over random scenarios. *)
+       (byte-identical traces), checked over random scenarios.
+
+   The binary encoding itself (roundtrip, torn tails) is covered in
+   test_btrace.ml. *)
 
 let contains haystack needle =
   let n = String.length needle and h = String.length haystack in
@@ -120,7 +123,7 @@ let test_metrics_recorder () =
 let test_flight_ring () =
   Alcotest.check_raises "capacity must be >= 1"
     (Invalid_argument "Flight.create: capacity must be >= 1") (fun () ->
-      ignore (Obs.Flight.create ~capacity:0 : Obs.Flight.t));
+      ignore (Obs.Flight.create ~capacity:0 : string Obs.Flight.t));
   let f = Obs.Flight.create ~capacity:3 in
   Alcotest.(check int) "empty length" 0 (Obs.Flight.length f);
   List.iter (Obs.Flight.record f) [ "a"; "b"; "c"; "d"; "e" ];
@@ -130,13 +133,37 @@ let test_flight_ring () =
     "last three, oldest first" [ "c"; "d"; "e" ]
     (Obs.Flight.entries f);
   let buf = Buffer.create 256 in
-  Obs.Flight.dump f ~reason:"test" (Buffer.add_string buf);
+  Obs.Flight.dump f ~reason:"test" ~render:Fun.id (Buffer.add_string buf);
   let out = Buffer.contents buf in
   Alcotest.(check bool) "banner" true
     (contains out "=== flight recorder: test (last 3 of 5 events) ===");
   Alcotest.(check bool) "entries present" true (contains out "c\nd\ne\n");
   Alcotest.(check bool) "footer" true
     (contains out "=== end flight recorder ===")
+
+let test_flight_total_saturates () =
+  (* Regression: [total] used to grow without bound and was once used
+     modulo capacity for slot selection; the invariant now is that the
+     ring keeps working at the int boundary and [total] saturates at
+     [max_int] instead of wrapping negative. *)
+  let f = Obs.Flight.create ~capacity:3 in
+  List.iter (Obs.Flight.record f) [ "a"; "b"; "c" ];
+  Obs.Flight.force_total f (max_int - 1);
+  Obs.Flight.record f "d";
+  Alcotest.(check int) "total reaches max_int" max_int (Obs.Flight.total f);
+  Obs.Flight.record f "e";
+  Obs.Flight.record f "f";
+  Alcotest.(check bool) "total never wraps negative" true
+    (Obs.Flight.total f > 0);
+  Alcotest.(check int) "total saturates at max_int" max_int
+    (Obs.Flight.total f);
+  Alcotest.(check int) "length still capped" 3 (Obs.Flight.length f);
+  Alcotest.(check (list string))
+    "ring order survives saturation" [ "d"; "e"; "f" ]
+    (Obs.Flight.entries f);
+  Alcotest.check_raises "force_total below held entries rejected"
+    (Invalid_argument "Flight.force_total: below filled") (fun () ->
+      Obs.Flight.force_total f 1)
 
 (* ---------------- json ---------------- *)
 
@@ -176,6 +203,33 @@ let test_validate_jsonl () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "non-object line accepted"
 
+let test_float_repr_spellings () =
+  (* Shortest spelling that round-trips: values representable in 9
+     significant digits keep the short historical form, awkward ones
+     get exactly as many digits as they need — never a lossy "0.3". *)
+  Alcotest.(check string) "short decimal stays short" "0.1"
+    (Obs.Json.float_repr 0.1);
+  Alcotest.(check string) "integral" "7" (Obs.Json.float_repr 7.);
+  Alcotest.(check string) "negative zero" "-0" (Obs.Json.float_repr (-0.));
+  Alcotest.(check string) "exponent form" "1e+22" (Obs.Json.float_repr 1e22);
+  Alcotest.(check string) "0.1 +. 0.2 needs 17 digits"
+    "0.30000000000000004"
+    (Obs.Json.float_repr (0.1 +. 0.2));
+  Alcotest.(check string) "1/3 round-trips" "0.33333333333333331"
+    (Obs.Json.float_repr (1. /. 3.))
+
+let prop_float_repr_roundtrip =
+  let arb =
+    QCheck.make
+      ~print:(Printf.sprintf "%h")
+      (QCheck.Gen.map Int64.float_of_bits QCheck.Gen.int64)
+  in
+  QCheck.Test.make ~name:"float_repr round-trips every finite float"
+    ~count:2000 arb (fun f ->
+      QCheck.assume (Float.is_finite f);
+      Int64.bits_of_float (float_of_string (Obs.Json.float_repr f))
+      = Int64.bits_of_float f)
+
 (* ---------------- probe integration ---------------- *)
 
 let two_way_scenario ?(validate = false) () =
@@ -192,12 +246,8 @@ let test_runner_without_obs () =
   Alcotest.(check bool) "no probe by default" true (r.Core.Runner.obs = None)
 
 let test_trace_matches_counters () =
-  let jsonl = Buffer.create (1 lsl 16) in
-  let chrome = Buffer.create (1 lsl 16) in
-  let setup =
-    Obs.Probe.setup ~jsonl:(Buffer.add_string jsonl)
-      ~chrome:(Buffer.add_string chrome) ()
-  in
+  let binary = Buffer.create (1 lsl 16) in
+  let setup = Obs.Probe.setup ~btrace:(Buffer.add_string binary) () in
   let r = Core.Runner.run ~obs:setup (two_way_scenario ~validate:true ()) in
   let probe =
     match r.Core.Runner.obs with
@@ -208,6 +258,19 @@ let test_trace_matches_counters () =
    | Some report when not (Validate.Report.is_clean report) ->
      Alcotest.failf "traced run not clean: %s" (Validate.Report.summary report)
    | _ -> ());
+  (* The runner finished the probe, so the whole stream decodes with no
+     torn tail; JSONL and chrome are rendered offline from the records. *)
+  let items =
+    match Obs.Btrace.read (Buffer.contents binary) with
+    | Error msg -> Alcotest.failf "binary trace unreadable: %s" msg
+    | Ok { Obs.Btrace.torn = Some msg; _ } ->
+      Alcotest.failf "flushed trace reports a torn tail: %s" msg
+    | Ok f -> f.Obs.Btrace.items
+  in
+  let jsonl = Buffer.create (1 lsl 16) in
+  Obs.Btrace.export_jsonl items (Buffer.add_string jsonl);
+  let chrome = Buffer.create (1 lsl 16) in
+  Obs.Btrace.export_chrome items (Buffer.add_string chrome);
   let text = Buffer.contents jsonl in
   (* Every line parses; timestamps never go backwards; the line count is
      exactly the number of events the tracer claims to have emitted. *)
@@ -364,9 +427,7 @@ let prop_observation_transparent =
       let sink (_ : string) = () in
       let observed =
         Core.Runner.run
-          ~obs:
-            (Obs.Probe.setup ~series_dt:1.0 ~jsonl:sink ~chrome:sink
-               ~flight:128 ())
+          ~obs:(Obs.Probe.setup ~series_dt:1.0 ~btrace:sink ~flight:128 ())
           scenario
       in
       let a = result_fingerprint bare and b = result_fingerprint observed in
@@ -389,9 +450,14 @@ let suite =
         test_metrics_recorder;
       Alcotest.test_case "flight: bounded ring and dump format" `Quick
         test_flight_ring;
+      Alcotest.test_case "flight: total saturates at max_int" `Quick
+        test_flight_total_saturates;
       Alcotest.test_case "json: parser round-trips traces" `Quick
         test_json_parse;
       Alcotest.test_case "json: JSONL validation" `Quick test_validate_jsonl;
+      Alcotest.test_case "json: shortest round-trip float spellings" `Quick
+        test_float_repr_spellings;
+      QCheck_alcotest.to_alcotest prop_float_repr_roundtrip;
       Alcotest.test_case "runner: no probe unless requested" `Quick
         test_runner_without_obs;
       Alcotest.test_case "probe: trace counts match metrics counters" `Quick

@@ -254,17 +254,18 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let test_with_file_sink_flushes_on_raise () =
-  let path = "robustness-torn-trace.jsonl" in
+  let path = "robustness-torn-trace.bin" in
   Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
   @@ fun () ->
-  (* Emit far more than fits a line, then crash: the file must still
-     hold every whole line written before the raise. *)
+  (* Emit far more than one segment holds, then crash without flushing:
+     every filled segment must reach the file whole, and the reader must
+     recover every record the sink ever saw.  The tiny segment forces
+     many sink handoffs so the crash lands between (or inside) records. *)
   (match
      Obs.Tracer.with_file_sink path (fun sink ->
-         let sim = Engine.Sim.create () in
-         let tr = Obs.Tracer.create ~jsonl:sink sim in
+         let w = Obs.Btrace.writer ~segment:256 sink in
          for i = 1 to 500 do
-           Obs.Tracer.emit tr
+           Obs.Btrace.event w ~time:(float_of_int i)
              (Obs.Event.Cwnd
                 { conn = 1; cwnd = float_of_int i; ssthresh = 1. })
          done;
@@ -272,25 +273,52 @@ let test_with_file_sink_flushes_on_raise () =
    with
   | () -> Alcotest.fail "expected the crash to propagate"
   | exception Failure _ -> ());
-  match Obs.Json.validate_jsonl ~key:"t" (read_file path) with
-  | Ok n -> Alcotest.(check int) "every emitted line survived, whole" 500 n
-  | Error msg -> Alcotest.fail ("torn trace: " ^ msg)
+  match Obs.Btrace.read (read_file path) with
+  | Error msg -> Alcotest.fail ("trace unreadable: " ^ msg)
+  | Ok { Obs.Btrace.items; _ } ->
+    let n = List.length items in
+    Alcotest.(check bool)
+      (Printf.sprintf "most records survived the crash (got %d)" n)
+      true
+      (n > 400 && n <= 500);
+    (* What survived is an exact prefix: cwnd values 1..n in order. *)
+    List.iteri
+      (fun i item ->
+        match item with
+        | Obs.Btrace.Event (t, Obs.Btrace.Cwnd { cwnd; _ }) ->
+          Alcotest.(check (float 0.))
+            "recovered records form the emitted prefix"
+            (float_of_int (i + 1))
+            cwnd;
+          Alcotest.(check (float 0.)) "times intact" cwnd t
+        | _ -> Alcotest.fail "unexpected record kind")
+      items
 
 let test_traced_run_crash_leaves_parseable_prefix () =
-  let path = "robustness-run-trace.jsonl" in
+  let path = "robustness-run-trace.bin" in
   Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
   @@ fun () ->
   (match
      Obs.Tracer.with_file_sink path (fun sink ->
-         let setup = Obs.Probe.setup ~jsonl:sink () in
+         let setup = Obs.Probe.setup ~btrace:sink () in
          let _r = Core.Runner.run ~obs:setup (scenario ()) in
          failwith "crash after the traced run")
    with
   | () -> Alcotest.fail "expected the crash to propagate"
   | exception Failure _ -> ());
-  match Obs.Json.validate_jsonl ~key:"t" (read_file path) with
-  | Ok n -> Alcotest.(check bool) "trace non-empty and parseable" true (n > 0)
-  | Error msg -> Alcotest.fail ("torn trace: " ^ msg)
+  (* The runner finished the probe before the crash, so the file decodes
+     completely and its JSONL export validates. *)
+  match Obs.Btrace.read (read_file path) with
+  | Error msg -> Alcotest.fail ("trace unreadable: " ^ msg)
+  | Ok { Obs.Btrace.items; torn; _ } ->
+    Alcotest.(check (option string)) "no torn tail after Probe.finish" None
+      torn;
+    let buf = Buffer.create 4096 in
+    Obs.Btrace.export_jsonl items (Buffer.add_string buf);
+    (match Obs.Json.validate_jsonl ~key:"t" (Buffer.contents buf) with
+     | Ok n ->
+       Alcotest.(check bool) "trace non-empty and parseable" true (n > 0)
+     | Error msg -> Alcotest.fail ("exported trace: " ^ msg))
 
 let suite =
   ( "robustness",
