@@ -5,7 +5,10 @@
      dune exec bench/main.exe -- fig45          one experiment table
      dune exec bench/main.exe -- micro          only the bechamel benchmarks
      dune exec bench/main.exe -- micro --json   ... and write BENCH_micro.json
-     dune exec bench/main.exe -- sweep          pool scaling; BENCH_sweep.json
+     dune exec bench/main.exe -- sweep          pool scaling per backend;
+                                                BENCH_sweep.json
+     dune exec bench/main.exe -- sweep --check BENCH_sweep.json
+                                                regression guard (25% band)
      dune exec bench/main.exe -- engine         hot-path ns/event + words/event
      dune exec bench/main.exe -- engine --json  ... and write BENCH_engine.json
      dune exec bench/main.exe -- engine --check BENCH_engine.json
@@ -409,106 +412,207 @@ let run_engine_check baseline_file =
   if ns_ok && words_ok then 0 else 1
 
 (* ------------------------------------------------------------------ *)
-(* Sweep scaling: the parallel pool at jobs 1 / 2 / 4                  *)
+(* Sweep scaling: the pool's backends at jobs 1 / 2 / 4                *)
 (* ------------------------------------------------------------------ *)
 
-(* Times the full Fig-8 buffer grid through Sweep.Driver at several job
-   counts, checks that every job count produces byte-identical JSON, and
-   records the numbers in BENCH_sweep.json.  Speedup is whatever the host
-   delivers — on a single-core container jobs > 1 only buys fork overhead,
-   so the core count is recorded next to the timings. *)
-let run_sweep_bench () =
-  banner "SWEEP SCALING: fig8 grid through the worker pool";
-  let grid = Sweep.Grids.fig8 in
-  let points = grid.points ~quick:false in
-  let n = List.length points in
+(* Times the full Fig-8 buffer grid through Sweep.Driver under every
+   backend this build has (fork everywhere, domains on OCaml 5) at
+   several job counts, checks that each combination produces JSON
+   byte-identical to the sequential run, and measures each backend's
+   raw per-point dispatch cost on trivial tasks.
+
+   Measurement order is load-bearing: OCaml 5 forbids Unix.fork in a
+   process that has ever spawned a domain, so every fork-backend
+   measurement runs before the first domain-backend one.
+
+   BENCH_sweep.json is always written; [--check FILE] re-measures and
+   fails if the in-process dispatch cost or the jobs=1 wall clock
+   regresses more than 25% past the committed baseline.  Those two are
+   the metrics a code change moves on any machine; the multi-job rows
+   also depend on the runner's core count, so they are recorded (with
+   [cores_available] and [parallel_ok] alongside, for scripts reading
+   the speedups) but not gated. *)
+
+type sweep_profile = {
+  sp_points : int;
+  sp_reps : int;
+  sp_jobs1_seconds : float;
+  sp_runs : (string * int * float) list;  (* backend, jobs, best seconds *)
+  sp_inprocess_dispatch_us : float;
+  sp_fork_dispatch_us : float;
+  sp_domain_dispatch_us : float option;
+  sp_byte_identical : bool;
+}
+
+let sweep_grid = Sweep.Grids.fig8
+
+let measure_sweep () =
+  let points = sweep_grid.points ~quick:false in
   let reps = 3 in
-  let time jobs =
-    ignore (Sweep.Driver.run ~jobs points : Sweep.Summary.t list);
+  let time backend jobs =
+    ignore (Sweep.Driver.run ~backend ~jobs points : Sweep.Summary.t list);
     let best = ref infinity in
     for _ = 1 to reps do
       let t0 = Unix.gettimeofday () in
-      ignore (Sweep.Driver.run ~jobs points : Sweep.Summary.t list);
+      ignore (Sweep.Driver.run ~backend ~jobs points : Sweep.Summary.t list);
       best := Float.min !best (Unix.gettimeofday () -. t0)
     done;
     !best
   in
-  let job_counts = [ 1; 2; 4 ] in
-  let timings = List.map (fun j -> (j, time j)) job_counts in
-  let reference = Sweep.Driver.to_json (Sweep.Driver.run ~jobs:1 points) in
-  let byte_identical =
-    List.for_all
-      (fun j -> Sweep.Driver.to_json (Sweep.Driver.run ~jobs:j points) = reference)
-      job_counts
+  let json backend jobs =
+    Sweep.Driver.to_json (Sweep.Driver.run ~backend ~jobs points)
   in
-  let t1 = List.assoc 1 timings in
-  let cores = Sweep_pool.cores () in
-  let max_jobs = List.fold_left max 1 job_counts in
-  (* Speedup numbers above the core count measure fork overhead, not
-     parallelism; say so next to them rather than leaving a puzzling
-     sub-1x figure in the report. *)
-  let note =
-    if max_jobs > cores then
-      Some
-        (Printf.sprintf
-           "job counts up to %d exceed the %d available core(s); speedups \
-            beyond jobs=%d measure scheduling overhead, not parallelism"
-           max_jobs cores cores)
-    else None
-  in
-  Printf.printf "grid: %s (%d points), best of %d runs, %d core(s)\n"
-    grid.name n reps cores;
-  List.iter
-    (fun (j, t) ->
-      Printf.printf "jobs=%d: %8.3f s  (speedup %.2fx)\n" j t (t1 /. t))
-    timings;
-  (match note with Some s -> Printf.printf "note: %s\n" s | None -> ());
-  Printf.printf "output byte-identical across job counts: %b\n" byte_identical;
-  (* Supervision overhead: with no failures, the select/deadline/requeue
-     machinery should be invisible next to any real simulation.  Trivial
-     tasks make the raw dispatch cost per point visible: jobs=2 pays the
-     full supervised pool (fork, frame protocol, select loop), jobs=1 is
-     the plain in-process map. *)
-  let sup_tasks = List.init 512 (fun i -> i) in
-  let sup_time jobs =
-    ignore (Sweep_pool.map ~jobs (fun x -> x) sup_tasks : int list);
+  (* Raw dispatch: trivial tasks make the per-point overhead visible.
+     Fork pays a Marshal frame and a trip through the select loop —
+     amortized by batching cheap results into chunked frames — while
+     domains pay one atomic fetch per index chunk. *)
+  let dispatch_tasks = List.init 512 (fun i -> i) in
+  let dispatch backend jobs =
+    ignore
+      (Sweep_pool.map ~backend ~jobs (fun x -> x) dispatch_tasks : int list);
     let best = ref infinity in
     for _ = 1 to reps do
       let t0 = Unix.gettimeofday () in
-      ignore (Sweep_pool.map ~jobs (fun x -> x) sup_tasks : int list);
+      ignore
+        (Sweep_pool.map ~backend ~jobs (fun x -> x) dispatch_tasks : int list);
       best := Float.min !best (Unix.gettimeofday () -. t0)
     done;
-    1e6 *. !best /. float_of_int (List.length sup_tasks)
+    1e6 *. !best /. float_of_int (List.length dispatch_tasks)
   in
-  let sup_seq = sup_time 1 in
-  let sup_pool = sup_time 2 in
+  (* Sequential reference first ... *)
+  let jobs1 = time Sweep_pool.Seq 1 in
+  let reference = json Sweep_pool.Seq 1 in
+  let inprocess_us = dispatch Sweep_pool.Seq 1 in
+  (* ... then every fork measurement ... *)
+  let fork_runs =
+    List.map (fun j -> ("fork", j, time Sweep_pool.Fork j)) [ 2; 4 ]
+  in
+  let fork_identical =
+    List.for_all (fun j -> json Sweep_pool.Fork j = reference) [ 2; 4 ]
+  in
+  let fork_us = dispatch Sweep_pool.Fork 2 in
+  (* ... and only now domains: no fork beyond this point. *)
+  let domain_runs, domain_identical, domain_us =
+    if Sweep_pool.domain_backend_available then
+      ( List.map (fun j -> ("domain", j, time Sweep_pool.Domain j)) [ 2; 4 ],
+        List.for_all (fun j -> json Sweep_pool.Domain j = reference) [ 2; 4 ],
+        Some (dispatch Sweep_pool.Domain 2) )
+    else ([], true, None)
+  in
+  {
+    sp_points = List.length points;
+    sp_reps = reps;
+    sp_jobs1_seconds = jobs1;
+    sp_runs = fork_runs @ domain_runs;
+    sp_inprocess_dispatch_us = inprocess_us;
+    sp_fork_dispatch_us = fork_us;
+    sp_domain_dispatch_us = domain_us;
+    sp_byte_identical = fork_identical && domain_identical;
+  }
+
+(* Speedup rows above the usable core count measure scheduling overhead,
+   not parallelism; say so next to them rather than leaving a puzzling
+   sub-1x figure in the report. *)
+let sweep_note (p : sweep_profile) =
+  let avail = Sweep_pool.available_cores () in
+  let max_jobs = List.fold_left (fun m (_, j, _) -> max m j) 1 p.sp_runs in
+  if max_jobs > avail then
+    Some
+      (Printf.sprintf
+         "job counts up to %d exceed the %d usable core(s); speedups beyond \
+          jobs=%d measure scheduling overhead, not parallelism"
+         max_jobs avail avail)
+  else None
+
+let print_sweep_profile (p : sweep_profile) =
   Printf.printf
-    "supervised dispatch (no failures): %.2f us/point at jobs=2 vs %.3f \
-     us/point in-process\n"
-    sup_pool sup_seq;
-  let file = "BENCH_sweep.json" in
+    "grid: %s (%d points), best of %d runs, %d core(s) (%d usable)\n"
+    sweep_grid.name p.sp_points p.sp_reps (Sweep_pool.cores ())
+    (Sweep_pool.available_cores ());
+  Printf.printf "%-8s jobs=1: %8.3f s\n" "seq" p.sp_jobs1_seconds;
+  List.iter
+    (fun (b, j, t) ->
+      Printf.printf "%-8s jobs=%d: %8.3f s  (speedup %.2fx)\n" b j t
+        (p.sp_jobs1_seconds /. t))
+    p.sp_runs;
+  (match sweep_note p with
+   | Some s -> Printf.printf "note: %s\n" s
+   | None -> ());
+  Printf.printf "output byte-identical across backends and job counts: %b\n"
+    p.sp_byte_identical;
+  Printf.printf
+    "dispatch (trivial tasks): in-process %.3f us/point, fork %.2f us/point%s\n"
+    p.sp_inprocess_dispatch_us p.sp_fork_dispatch_us
+    (match p.sp_domain_dispatch_us with
+     | Some d -> Printf.sprintf ", domain %.3f us/point" d
+     | None -> "")
+
+let write_sweep_json file (p : sweep_profile) =
   let oc = open_out file in
   Printf.fprintf oc
-    "{\n  \"grid\": \"%s\",\n  \"cores\": %d,\n  \"points\": %d,\n\
-    \  \"reps\": %d,\n%s  \"runs\": [\n%s\n  ],\n\
-    \  \"supervised_dispatch_us_per_point\": %.3f,\n\
+    "{\n  \"grid\": \"%s\",\n  \"cores\": %d,\n  \"cores_available\": %d,\n\
+    \  \"parallel_ok\": %b,\n  \"points\": %d,\n  \"reps\": %d,\n\
+    %s  \"jobs1_seconds\": %.4f,\n  \"runs\": [\n%s\n  ],\n\
     \  \"inprocess_dispatch_us_per_point\": %.4f,\n\
+    \  \"supervised_dispatch_us_per_point\": %.3f,\n\
+    \  \"domain_dispatch_us_per_point\": %s,\n\
     \  \"byte_identical\": %b\n}\n"
-    grid.name cores n reps
-    (match note with
+    sweep_grid.name (Sweep_pool.cores ())
+    (Sweep_pool.available_cores ())
+    (Sweep_pool.available_cores () >= 2)
+    p.sp_points p.sp_reps
+    (match sweep_note p with
      | Some s -> Printf.sprintf "  \"note\": \"%s\",\n" (json_escape s)
      | None -> "")
+    p.sp_jobs1_seconds
     (String.concat ",\n"
        (List.map
-          (fun (j, t) ->
+          (fun (b, j, t) ->
             Printf.sprintf
-              "    {\"jobs\": %d, \"seconds\": %.4f, \"speedup\": %.3f}" j t
-              (t1 /. t))
-          timings))
-    sup_pool sup_seq byte_identical;
+              "    {\"backend\": \"%s\", \"jobs\": %d, \"seconds\": %.4f, \
+               \"speedup\": %.3f}"
+              b j t (p.sp_jobs1_seconds /. t))
+          p.sp_runs))
+    p.sp_inprocess_dispatch_us p.sp_fork_dispatch_us
+    (match p.sp_domain_dispatch_us with
+     | Some d -> Printf.sprintf "%.4f" d
+     | None -> "null")
+    p.sp_byte_identical;
   close_out oc;
-  Printf.printf "wrote %s\n" file;
-  if byte_identical then 0 else 1
+  Printf.printf "wrote %s\n" file
+
+let run_sweep_bench () =
+  banner "SWEEP SCALING: fig8 grid through the pool backends";
+  let p = measure_sweep () in
+  print_sweep_profile p;
+  write_sweep_json "BENCH_sweep.json" p;
+  if p.sp_byte_identical then 0 else 1
+
+let run_sweep_check baseline_file =
+  banner "SWEEP POOL: regression check against committed baseline";
+  let base_dispatch =
+    json_number_field baseline_file "inprocess_dispatch_us_per_point"
+  in
+  let base_jobs1 = json_number_field baseline_file "jobs1_seconds" in
+  let p = measure_sweep () in
+  print_sweep_profile p;
+  write_sweep_json "BENCH_sweep.current.json" p;
+  let tolerance = 0.25 in
+  let check name measured base =
+    let limit = base *. (1. +. tolerance) in
+    let ok = measured <= limit in
+    Printf.printf "%-28s %10.4f  (baseline %.4f, limit %.4f)  %s\n" name
+      measured base limit
+      (if ok then "ok" else "REGRESSION");
+    ok
+  in
+  let dispatch_ok =
+    check "in-process dispatch us/pt" p.sp_inprocess_dispatch_us base_dispatch
+  in
+  let jobs1_ok = check "jobs=1 wall seconds" p.sp_jobs1_seconds base_jobs1 in
+  if not p.sp_byte_identical then
+    print_endline "byte-identity across backends: FAILED";
+  if dispatch_ok && jobs1_ok && p.sp_byte_identical then 0 else 1
 
 (* ------------------------------------------------------------------ *)
 (* 4. Validation overhead                                              *)
@@ -796,6 +900,7 @@ let () =
       run_micro ~json:true ();
       0
     | [ "sweep" ] -> run_sweep_bench ()
+    | [ "sweep"; "--check"; baseline ] -> run_sweep_check baseline
     | [ "engine" ] -> run_engine ~json:false ()
     | [ "engine"; "--json" ] -> run_engine ~json:true ()
     | [ "engine"; "--check"; baseline ] -> run_engine_check baseline

@@ -771,8 +771,26 @@ let run_cmd =
 
 let grid_names = List.map (fun (g : Sweep.Grids.spec) -> g.name) Sweep.Grids.all
 
-let run_sweep grid_name jobs out quick list_grids max_retries worker_timeout
-    guard_cli =
+(* --backend auto|seq|fork|domain; "auto" (the default) defers to
+   Sweep_pool.default_backend: NETSIM_SWEEP_BACKEND, else domains on
+   OCaml 5, else the fork pool. *)
+let backend_conv =
+  let parse s =
+    match String.lowercase_ascii (String.trim s) with
+    | "auto" | "" -> Ok None
+    | other -> (
+      match Sweep_pool.backend_of_string other with
+      | Ok b -> Ok (Some b)
+      | Error msg -> Error (`Msg msg))
+  in
+  let print ppf = function
+    | None -> Format.pp_print_string ppf "auto"
+    | Some b -> Format.pp_print_string ppf (Sweep_pool.backend_to_string b)
+  in
+  Arg.conv (parse, print)
+
+let run_sweep grid_name backend jobs out quick list_grids max_retries
+    worker_timeout guard_cli =
   if list_grids then begin
     List.iter
       (fun (g : Sweep.Grids.spec) -> Printf.printf "%-14s %s\n" g.name g.title)
@@ -788,10 +806,17 @@ let run_sweep grid_name jobs out quick list_grids max_retries worker_timeout
       2
     | Some grid ->
       install_signal_handlers ();
+      (match backend with
+       | Some Sweep_pool.Domain when not Sweep_pool.domain_backend_available ->
+         Printf.eprintf
+           "netsim sweep: this build has no domain support (OCaml < 5); \
+            using the fork backend\n%!"
+       | _ -> ());
       let points = grid.points ~quick in
       let started = Unix.gettimeofday () in
       let outcome =
-        Sweep.Driver.run_collect ~jobs ~max_retries ?deadline:worker_timeout
+        Sweep.Driver.run_collect ?backend ~jobs ~max_retries
+          ?deadline:worker_timeout
           ~on_failure:(fun f ->
             Printf.eprintf "netsim sweep: %s\n%!"
               (Sweep_pool.worker_failure_to_string f))
@@ -851,14 +876,26 @@ let sweep_cmd =
       & info [] ~docv:"GRID"
           ~doc:("Grid to sweep: " ^ String.concat ", " grid_names ^ "."))
   in
+  let backend =
+    Arg.(
+      value
+      & opt backend_conv None
+      & info [ "backend" ] ~docv:"BACKEND"
+          ~doc:
+            "Execution backend: $(b,auto) (default; \
+             $(b,NETSIM_SWEEP_BACKEND), else domains on OCaml 5, else \
+             forked workers), $(b,seq), $(b,fork) or $(b,domain). \
+             Results are byte-identical for every backend.")
+  in
   let jobs =
     Arg.(
       value
       & opt int (Sweep_pool.default_jobs ())
       & info [ "jobs"; "j" ] ~docv:"N"
           ~doc:
-            "Worker processes (default $(b,NETSIM_JOBS) or 1). Results are \
-             bit-identical for every N.")
+            "Parallel workers — domains or processes, per $(b,--backend) \
+             (default $(b,NETSIM_JOBS) or 1). Results are bit-identical \
+             for every N.")
   in
   let out =
     Arg.(
@@ -895,8 +932,8 @@ let sweep_cmd =
     (Cmd.info "sweep"
        ~doc:"Run a scenario grid across parallel workers.")
     Term.(
-      const run_sweep $ grid_arg $ jobs $ out $ quick_flag $ list_grids
-      $ max_retries $ worker_timeout $ guard_term)
+      const run_sweep $ grid_arg $ backend $ jobs $ out $ quick_flag
+      $ list_grids $ max_retries $ worker_timeout $ guard_term)
 
 (* ---------------- plot ---------------- *)
 

@@ -18,17 +18,18 @@ let run_point ?budget ?bundle_dir p =
   Summary.of_result ~id:p.id ~params:p.params
     (Core.Runner.run ~obs:(Obs.Probe.setup ()) ?budget ?bundle_dir p.scenario)
 
-let run ?jobs ?max_retries ?backoff ?deadline ?on_failure ?budget ?bundle_dir
-    points =
+let run ?backend ?jobs ?max_retries ?backoff ?deadline ?on_failure ?budget
+    ?bundle_dir points =
   let jobs = match jobs with Some j -> j | None -> Sweep_pool.default_jobs () in
-  Sweep_pool.map ~jobs ?max_retries ?backoff ?deadline ?on_failure
+  Sweep_pool.map ?backend ~jobs ?max_retries ?backoff ?deadline ?on_failure
     (run_point ?budget ?bundle_dir)
     points
 
-let run_collect ?jobs ?max_retries ?backoff ?deadline ?on_failure ?stop ?budget
-    ?bundle_dir points =
+let run_collect ?backend ?jobs ?max_retries ?backoff ?deadline ?on_failure
+    ?stop ?budget ?bundle_dir points =
   let jobs = match jobs with Some j -> j | None -> Sweep_pool.default_jobs () in
-  Sweep_pool.map_collect ~jobs ?max_retries ?backoff ?deadline ?on_failure ?stop
+  Sweep_pool.map_collect ?backend ~jobs ?max_retries ?backoff ?deadline
+    ?on_failure ?stop
     (run_point ?budget ?bundle_dir)
     points
 

@@ -28,14 +28,18 @@ val point :
 val run_point :
   ?budget:Core.Runner.budget -> ?bundle_dir:string -> point -> Summary.t
 
-(** Run every point; summaries are returned in point order.  [jobs]
+(** Run every point; summaries are returned in point order.  [backend]
+    selects the executor (default {!Sweep_pool.default_backend}: domains
+    on OCaml 5, forked workers on 4.14, [NETSIM_SWEEP_BACKEND]
+    overrides); output is byte-identical for every backend.  [jobs]
     defaults to {!Sweep_pool.default_jobs} (the [NETSIM_JOBS] variable,
     else 1).  [max_retries], [deadline] and [on_failure] configure the
-    supervised pool (see {!Sweep_pool.map}); [budget] / [bundle_dir] are
-    applied per point.
+    supervised fork pool (see {!Sweep_pool.map}; inert under the domain
+    backend); [budget] / [bundle_dir] are applied per point.
     @raise Sweep_pool.Error when points remain missing or failed after
     every retry and the sequential fallback. *)
 val run :
+  ?backend:Sweep_pool.backend ->
   ?jobs:int ->
   ?max_retries:int ->
   ?backoff:float ->
@@ -53,6 +57,7 @@ val run :
     drains in-flight points and returns a partial outcome with
     [interrupted = true]. *)
 val run_collect :
+  ?backend:Sweep_pool.backend ->
   ?jobs:int ->
   ?max_retries:int ->
   ?backoff:float ->

@@ -1,0 +1,15 @@
+(* OCaml 4.14 stub: no domains.  Copied to domain_backend.ml by the dune
+   rule on compilers before 5.0.  [Sweep_pool] checks [available] before
+   dispatching here and routes domain requests to the fork backend, so
+   [run] is unreachable; it raises rather than silently degrading in
+   case a future caller forgets the check. *)
+
+let available = false
+
+type task_failure = { index : int; exn_text : string; backtrace : string }
+
+let run ~jobs:_ ~stop:_ _f _tasks _results =
+  failwith "Domain_backend.run: domains require OCaml >= 5.0"
+
+(* Mention the type so the 4.14 build doesn't flag it unused. *)
+let _ = fun (x : task_failure) -> x.index

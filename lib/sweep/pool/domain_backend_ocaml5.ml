@@ -1,0 +1,68 @@
+(* Real domain pool (OCaml >= 5.0).  Copied to domain_backend.ml by the
+   dune rule when the compiler supports domains; domain_backend_ocaml4.ml
+   is the 4.14 stub.  Keep both in sync with domain_backend.mli. *)
+
+let available = true
+
+type task_failure = { index : int; exn_text : string; backtrace : string }
+
+(* Chunked index pulling: each fetch_and_add claims [chunk] consecutive
+   indices.  Simulation grids are small (tens to hundreds of points) and
+   per-point cost varies a lot, so chunks stay small — balance matters
+   more than counter traffic there; huge arrays of trivial tasks get
+   bigger chunks so the atomic is off the per-task path.  The cap bounds
+   tail imbalance when task costs drift along the array. *)
+let chunk_for ~n ~jobs = min 1024 (max 1 (n / (jobs * 16)))
+
+let run ~jobs ~stop f tasks results =
+  let n = Array.length tasks in
+  let next = Atomic.make 0 in
+  let stopped = Atomic.make false in
+  let chunk = chunk_for ~n ~jobs in
+  (* The user's [stop] closure is polled from every worker; the first
+     observer also raises the shared atomic flag so domains whose next
+     poll is cheap (the atomic) shut down promptly. *)
+  let should_stop () =
+    Atomic.get stopped
+    || (stop () && (Atomic.set stopped true; true))
+  in
+  let worker () =
+    let failures = ref [] in
+    let continue = ref true in
+    while !continue do
+      if should_stop () then continue := false
+      else begin
+        let start = Atomic.fetch_and_add next chunk in
+        if start >= n then continue := false
+        else
+          for i = start to min n (start + chunk) - 1 do
+            if not (should_stop ()) then begin
+              match f tasks.(i) with
+              | r -> results.(i) <- Some r
+              | exception e ->
+                failures :=
+                  {
+                    index = i;
+                    exn_text = Printexc.to_string e;
+                    backtrace = Printexc.get_backtrace ();
+                  }
+                  :: !failures
+            end
+          done
+      end
+    done;
+    !failures
+  in
+  (* The calling domain is worker [jobs - 1]: it participates instead of
+     idling in a poll loop, so trivial grids pay no wake-up latency and a
+     signal arriving while it computes is handled at its next safepoint
+     like on any other domain. *)
+  let others = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+  let mine = worker () in
+  let failures =
+    Array.fold_left (fun acc d -> Domain.join d @ acc) mine others
+  in
+  let sorted =
+    List.sort (fun a b -> compare a.index b.index) failures
+  in
+  (sorted, Atomic.get stopped || stop ())

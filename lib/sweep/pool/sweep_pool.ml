@@ -1,13 +1,20 @@
-(* Supervised, deterministic fork/pipe/Marshal worker pool.
+(* Deterministic parallel task pool with three runtime-selected
+   backends (see DESIGN.md §6j):
 
-   [map ~jobs f xs] computes [List.map f xs], fanning the work out to
-   [jobs] forked worker processes.  Results are bit-identical regardless
-   of the job count — and regardless of which workers crash — because
-   the *assignment* of work to workers never affects a result: task [i]
-   is always [f xs.(i)] computed in a process whose heap is a fork-time
-   copy of the parent, every per-task RNG in this codebase is seeded
-   from the task itself (the scenario), and the parent reassembles
-   results by task index, not arrival order.
+     Seq     plain in-process [List.map]
+     Fork    supervised fork/pipe/Marshal worker processes (this file)
+     Domain  shared-memory OCaml 5 domains ({!Domain_backend}; on 4.14
+             the stub reports [available = false] and requests fall
+             back to Fork)
+
+   [map ~jobs f xs] computes [List.map f xs] under every backend.
+   Results are bit-identical regardless of the backend, the job count —
+   and, for Fork, regardless of which workers crash — because the
+   *assignment* of work to workers never affects a result: task [i] is
+   always [f xs.(i)] (computed in a fork-time copy of the parent heap,
+   in a domain sharing it, or in the parent itself), every per-task RNG
+   in this codebase is seeded from the task itself (the scenario), and
+   results are reassembled by task index, not arrival order.
 
    Supervision model (see DESIGN.md, "Failure model & supervision"):
 
@@ -59,6 +66,73 @@ let cores () =
     close_in ic;
     max 1 !n
   with Sys_error _ -> 1
+
+let available_cores () =
+  (* Cores this process may actually run on: the popcount of the CPU
+     affinity mask (cgroup cpusets, taskset, CI runners), which is what
+     bounds real parallelism — [cores ()] reports the hardware.  The
+     mask is the "Cpus_allowed:" line of /proc/self/status: comma-
+     separated hex words, e.g. "ff" or "ffffffff,00000003".  Falls back
+     to [cores ()] when unreadable (non-Linux). *)
+  let popcount_hex_digit c =
+    match c with
+    | '0' -> 0 | '1' | '2' | '4' | '8' -> 1
+    | '3' | '5' | '6' | '9' | 'a' | 'A' | 'c' | 'C' -> 2
+    | '7' | 'b' | 'B' | 'd' | 'D' | 'e' | 'E' -> 3
+    | 'f' | 'F' -> 4
+    | _ -> 0
+  in
+  try
+    let ic = open_in "/proc/self/status" in
+    let found = ref None in
+    (try
+       while true do
+         let line = input_line ic in
+         let prefix = "Cpus_allowed:" in
+         let plen = String.length prefix in
+         if String.length line > plen && String.sub line 0 plen = prefix then begin
+           let bits = ref 0 in
+           String.iter
+             (fun c -> bits := !bits + popcount_hex_digit c)
+             (String.sub line plen (String.length line - plen));
+           found := Some !bits
+         end
+       done
+     with End_of_file -> ());
+    close_in ic;
+    match !found with Some n when n >= 1 -> n | _ -> cores ()
+  with Sys_error _ -> cores ()
+
+(* ------------------------------------------------------------------ *)
+(* Backend selection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type backend = Seq | Fork | Domain
+
+let backend_to_string = function
+  | Seq -> "seq"
+  | Fork -> "fork"
+  | Domain -> "domain"
+
+let backend_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "seq" | "sequential" -> Ok Seq
+  | "fork" -> Ok Fork
+  | "domain" | "domains" -> Ok Domain
+  | other ->
+    Error
+      (Printf.sprintf "unknown sweep backend %S (expected seq, fork or domain)"
+         other)
+
+let domain_backend_available = Domain_backend.available
+
+let default_backend () =
+  match Sys.getenv_opt "NETSIM_SWEEP_BACKEND" with
+  | None | Some "" -> if Domain_backend.available then Domain else Fork
+  | Some s -> (
+    match backend_of_string s with
+    | Ok b -> b
+    | Error _ -> if Domain_backend.available then Domain else Fork)
 
 (* ------------------------------------------------------------------ *)
 (* Failure taxonomy                                                    *)
@@ -176,8 +250,22 @@ let read_chaos () =
 
 type 'b frame =
   | F_point of int * 'b
+  | F_batch of (int * 'b) array
+      (* several completed points in one Marshal payload: cheap tasks
+         are batched so the per-frame Marshal + write + select-wakeup
+         cost is amortized (see [batch_max] / [batch_linger]) *)
   | F_exn of int * string * string  (* index, exception text, backtrace *)
   | F_done
+
+(* Batching policy: a completed point is held back until the batch
+   reaches [batch_max] points or [batch_linger] seconds have passed
+   since the last flush.  Simulation points (≥ milliseconds each) flush
+   themselves immediately, keeping the streamed-salvage granularity of
+   the supervision model; only micro-tasks coalesce.  Chaos mode forces
+   a flush after every point so the NETSIM_CHAOS_* frame counts keep
+   their per-point meaning. *)
+let batch_max = 256
+let batch_linger = 0.002
 
 (* A frame bigger than this is necessarily garbage (a summary is a few
    KB); treating it as corruption keeps a bad header from making the
@@ -257,6 +345,10 @@ let worker_body ~wr ~f ~tasks ~indices ~attempt ~chaos ~stop =
     (try Unix.close wr with Unix.Unix_error _ -> ());
     Unix._exit 0
   in
+  let chaos_on =
+    chaos_applies chaos ~attempt
+    && (chaos.kill_after <> None || chaos.truncate_after <> None)
+  in
   let chaos_step () =
     if chaos_applies chaos ~attempt then begin
       (match chaos.kill_after with
@@ -267,6 +359,32 @@ let worker_body ~wr ~f ~tasks ~indices ~attempt ~chaos ~stop =
       | _ -> ()
     end
   in
+  (* A result that cannot cross the pipe is a per-point failure, not a
+     worker crash. *)
+  let send_point i r =
+    try send_frame wr (F_point (i, r))
+    with e ->
+      send_frame wr
+        (F_exn (i, "unmarshalable result: " ^ Printexc.to_string e, ""))
+  in
+  let batch = ref [] in  (* completed (index, result), newest first *)
+  let batch_len = ref 0 in
+  let last_flush = ref (Unix.gettimeofday ()) in
+  let flush_batch () =
+    (match !batch with
+     | [] -> ()
+     | [ (i, r) ] -> send_point i r
+     | items -> (
+       let arr = Array.of_list (List.rev items) in
+       try send_frame wr (F_batch arr)
+       with _ ->
+         (* Some result in the batch is unmarshalable; send per point so
+            only the poisoned one degrades to an exception frame. *)
+         Array.iter (fun (i, r) -> send_point i r) arr));
+    batch := [];
+    batch_len := 0;
+    last_flush := Unix.gettimeofday ()
+  in
   (try
      chaos_step ();
      List.iter
@@ -275,25 +393,24 @@ let worker_body ~wr ~f ~tasks ~indices ~attempt ~chaos ~stop =
             the in-flight point and abandons the rest; the parent knows
             not to requeue them. *)
          if not (stop ()) then begin
-           let frame =
-             match f tasks.(i) with
-             | r -> F_point (i, r)
-             | exception e ->
-               F_exn (i, Printexc.to_string e, Printexc.get_backtrace ())
-           in
-           (try send_frame wr frame
-            with e ->
-              (* An unmarshalable result is a per-point failure, not a
-                 worker crash. *)
+           (match f tasks.(i) with
+            | r ->
+              batch := (i, r) :: !batch;
+              incr batch_len;
+              if
+                chaos_on
+                || !batch_len >= batch_max
+                || Unix.gettimeofday () -. !last_flush >= batch_linger
+              then flush_batch ()
+            | exception e ->
+              flush_batch ();
               send_frame wr
-                (F_exn
-                   ( i,
-                     "unmarshalable result: " ^ Printexc.to_string e,
-                     "" )));
+                (F_exn (i, Printexc.to_string e, Printexc.get_backtrace ())));
            incr sent;
            chaos_step ()
          end)
        indices;
+     flush_batch ();
      send_frame wr F_done
    with _ -> ());
   (try Unix.close wr with Unix.Unix_error _ -> ());
@@ -328,8 +445,8 @@ type 'b outcome = {
 
 let select_tick = 0.25 (* s; bounds stop-poll and respawn latency *)
 
-let map_collect ?(jobs = 1) ?(max_retries = 2) ?(backoff = 0.05) ?deadline
-    ?(on_failure = fun _ -> ()) ?(stop = fun () -> false) f xs =
+let map_collect ?backend ?(jobs = 1) ?(max_retries = 2) ?(backoff = 0.05)
+    ?deadline ?(on_failure = fun _ -> ()) ?(stop = fun () -> false) f xs =
   let tasks = Array.of_list xs in
   let n = Array.length tasks in
   let results = Array.make n None in
@@ -362,7 +479,27 @@ let map_collect ?(jobs = 1) ?(max_retries = 2) ?(backoff = 0.05) ?deadline
       indices
   in
   let jobs = min jobs n in
-  if jobs <= 1 || Sys.os_type <> "Unix" then begin
+  (* Resolve the effective backend: [jobs <= 1] is always sequential; a
+     Domain request on a domainless build (4.14) degrades to Fork, and
+     Fork on a non-Unix host degrades to Seq — never to different
+     results, only to a different executor. *)
+  let backend =
+    match backend with Some b -> b | None -> default_backend ()
+  in
+  let backend = if jobs <= 1 then Seq else backend in
+  let backend =
+    match backend with
+    | Domain when not Domain_backend.available -> Fork
+    | b -> b
+  in
+  let backend =
+    match backend with
+    | Fork when Sys.os_type <> "Unix" ->
+      if Domain_backend.available then Domain else Seq
+    | b -> b
+  in
+  match backend with
+  | Seq ->
     run_seq (List.init n Fun.id);
     {
       results;
@@ -370,8 +507,29 @@ let map_collect ?(jobs = 1) ?(max_retries = 2) ?(backoff = 0.05) ?deadline
       point_failures = List.rev !point_failures;
       interrupted = !interrupted;
     }
-  end
-  else begin
+  | Domain ->
+    (* Shared-memory domains: no worker processes, so no worker
+       failures, no retries, no deadlines — a task exception is a point
+       failure exactly as in the sequential path, and a crash takes the
+       whole process down (there is no isolation to salvage). *)
+    let failures, stopped = Domain_backend.run ~jobs ~stop f tasks results in
+    List.iter
+      (fun (tf : Domain_backend.task_failure) ->
+        record_point_failure
+          {
+            point = tf.index;
+            exn_text = tf.exn_text;
+            backtrace = tf.backtrace;
+          })
+      failures;
+    if stopped then interrupted := true;
+    {
+      results;
+      worker_failures = [];
+      point_failures = List.rev !point_failures;
+      interrupted = !interrupted;
+    }
+  | Fork -> begin
     (* Anything buffered before a fork would be flushed once per process;
        push it out first. *)
     flush stdout;
@@ -437,6 +595,16 @@ let map_collect ?(jobs = 1) ?(max_retries = 2) ?(backoff = 0.05) ?deadline
         results.(i) <- Some r;
         child.assigned <- List.filter (fun j -> j <> i) child.assigned;
         child.salvaged <- i :: child.salvaged
+      | F_batch items ->
+        Array.iter
+          (fun (i, r) ->
+            results.(i) <- Some r;
+            child.salvaged <- i :: child.salvaged)
+          items;
+        child.assigned <-
+          List.filter
+            (fun j -> not (Array.exists (fun (i, _) -> i = j) items))
+            child.assigned
       | F_exn (i, exn_text, backtrace) ->
         record_point_failure { point = i; exn_text; backtrace };
         child.assigned <- List.filter (fun j -> j <> i) child.assigned
@@ -598,8 +766,10 @@ let map_collect ?(jobs = 1) ?(max_retries = 2) ?(backoff = 0.05) ?deadline
     }
   end
 
-let map ?jobs ?max_retries ?backoff ?deadline ?on_failure f xs =
-  let o = map_collect ?jobs ?max_retries ?backoff ?deadline ?on_failure f xs in
+let map ?backend ?jobs ?max_retries ?backoff ?deadline ?on_failure f xs =
+  let o =
+    map_collect ?backend ?jobs ?max_retries ?backoff ?deadline ?on_failure f xs
+  in
   let missing = ref [] in
   for i = Array.length o.results - 1 downto 0 do
     match o.results.(i) with

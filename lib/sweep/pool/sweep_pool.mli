@@ -1,18 +1,41 @@
-(** Supervised, deterministic fork/pipe/Marshal worker pool — the
-    process-level layer of the scenario-sweep subsystem ({!Sweep}).
+(** Deterministic parallel task pool — the execution layer of the
+    scenario-sweep subsystem ({!Sweep}) — with three runtime-selected
+    {!backend}s: plain sequential, supervised fork/pipe/Marshal worker
+    processes, and (on OCaml 5) shared-memory domains.
 
     {2 Determinism}
 
-    [map ~jobs f xs] returns exactly [List.map f xs] for any [jobs] —
-    and under any worker kill pattern: task [i] is always computed as
-    [f xs.(i)] in a fork-time copy of the parent heap (or, after the
-    retry budget, in the parent itself), and the parent reassembles
-    results by task index.  As long as [f] itself is deterministic
-    (every RNG in this repo is seeded from its scenario, never from the
-    process or worker), the results are bit-identical regardless of the
-    job count or of which workers crashed along the way.
+    [map ~jobs f xs] returns exactly [List.map f xs] for any [jobs],
+    any {!backend} — and, under the fork backend, any worker kill
+    pattern: task [i] is always computed as [f xs.(i)] (in a fork-time
+    copy of the parent heap, in a domain sharing it, or in the parent
+    itself), and results are reassembled by task index.  As long as
+    [f] itself is deterministic (every RNG in this repo is seeded from
+    its scenario, never from the process, domain or worker), the
+    results are bit-identical regardless of the backend, the job count
+    or which workers crashed along the way.
 
-    {2 Supervision}
+    {2 Backends}
+
+    - {!Seq}: in-process [List.map]; always used when [jobs <= 1].
+    - {!Fork}: the supervised worker-process pool described below.
+      Worker crashes, hangs and stream corruption are survived; the
+      per-point [Marshal] + pipe cost is amortized by batching cheap
+      results into chunked frames.
+    - {!Domain}: a fixed set of OCaml 5 domains pulling task indices
+      from a shared atomic counter and writing results into a pre-sized
+      slot array ({!Domain_backend}) — real multicore parallelism with
+      no serialization at all.  [f] must not touch global mutable state
+      (see DESIGN.md §6j for the shared-heap safety checklist);
+      [max_retries] / [deadline] / [on_failure] are inert here (there
+      are no worker processes to crash or respawn).  On 4.14 builds
+      the stub backend is unavailable and requests degrade to {!Fork}.
+
+    The default is {!Domain} where available, else {!Fork}; the
+    [NETSIM_SWEEP_BACKEND] environment variable ([seq] | [fork] |
+    [domain]) overrides it, and the [?backend] argument overrides both.
+
+    {2 Supervision (fork backend)}
 
     Workers stream one length-prefixed [Marshal] frame back per
     completed task; the parent multiplexes the pipes through
@@ -32,6 +55,24 @@
     [NETSIM_CHAOS_ALL_ATTEMPTS] environment variables make workers
     deterministically self-destruct (see DESIGN.md, "Failure model &
     supervision"). *)
+
+(** How tasks are executed; see the module comment. *)
+type backend = Seq | Fork | Domain
+
+val backend_to_string : backend -> string
+
+(** Parses ["seq"], ["fork"] or ["domain"] (case-insensitive);
+    [Error msg] names the alternatives otherwise. *)
+val backend_of_string : string -> (backend, string) result
+
+(** [true] iff this build can run the {!Domain} backend (OCaml >= 5.0);
+    when [false], {!Domain} requests degrade to {!Fork}. *)
+val domain_backend_available : bool
+
+(** The backend used when [?backend] is omitted: [NETSIM_SWEEP_BACKEND]
+    if set to a valid name, else {!Domain} where available, else
+    {!Fork}. *)
+val default_backend : unit -> backend
 
 (** Why a worker process failed. *)
 type cause =
@@ -92,6 +133,7 @@ val error_to_string : error -> string
 
     @raise Error when a task raised or remained unaccounted for. *)
 val map :
+  ?backend:backend ->
   ?jobs:int ->
   ?max_retries:int ->
   ?backoff:float ->
@@ -116,8 +158,14 @@ type 'b outcome = {
     pool stops assigning work (workers sharing the flag — e.g. via an
     inherited signal handler — finish their in-flight task, whose
     result is still collected) and returns with [interrupted = true].
-    The sequential fallback also polls [stop] between tasks. *)
+    The sequential fallback also polls [stop] between tasks.
+
+    Under the {!Domain} backend [stop] is polled from worker domains
+    and must be domain-safe (a monotonic [bool ref] flipped by a signal
+    handler is fine); in-flight points finish and are kept, exactly as
+    with forked workers. *)
 val map_collect :
+  ?backend:backend ->
   ?jobs:int ->
   ?max_retries:int ->
   ?backoff:float ->
@@ -135,3 +183,9 @@ val default_jobs : unit -> int
 (** Best-effort CPU count (from [/proc/cpuinfo]; [1] when unreadable).
     Benchmark metadata only — never affects results. *)
 val cores : unit -> int
+
+(** CPU count this process may actually use — the popcount of the
+    affinity mask in [/proc/self/status] ([Cpus_allowed]), which cgroup
+    cpusets, [taskset] and CI runners shrink below {!cores}.  Falls
+    back to {!cores} when unreadable.  Benchmark metadata only. *)
+val available_cores : unit -> int

@@ -37,4 +37,8 @@ let () =
       Test_btrace.suite;
       Test_args.suite;
       Test_experiments.suite;
+      (* Last: spawns domains, and the OCaml 5 runtime forbids
+         Unix.fork in a process that has ever had more than one
+         domain — every fork-based test must precede this suite. *)
+      Test_domain_safety.suite;
     ]

@@ -1,7 +1,10 @@
 (* lib/sweep + lib/sweep/pool: the parallel fan-out must be invisible in
-   the results — same values, same order, same bytes — for any job
-   count, and for any pattern of worker deaths (the supervision layer
-   salvages, retries and finally falls back to in-process execution). *)
+   the results — same values, same order, same bytes — for any backend,
+   any job count, and for any pattern of worker deaths (the fork
+   supervision layer salvages, retries and finally falls back to
+   in-process execution).  The supervision-specific tests pin
+   [~backend:Fork]: chaos knobs, deadlines and respawns only exist
+   there.  Domain-backend coverage lives in test_domain_safety.ml. *)
 
 (* The pool reads the NETSIM_CHAOS_* knobs per map call, so tests can
    inject worker faults with putenv.  Always reset to "" (putenv cannot
@@ -15,39 +18,66 @@ let with_env pairs f =
 
 (* ---------------- Sweep_pool ---------------- *)
 
+(* Seq and Fork only: on OCaml 5 the runtime permanently forbids
+   Unix.fork once any domain has ever been spawned in the process, so
+   every fork-backend test in this binary must run before the first
+   domain-backend test.  This suite therefore stays domain-free; the
+   Domain equivalents of these checks live in test_domain_safety.ml,
+   registered after this suite in test_main.ml. *)
+let backends = [ ("seq", Sweep_pool.Seq); ("fork", Sweep_pool.Fork) ]
+
 let test_pool_matches_sequential () =
   let xs = List.init 17 (fun i -> i) in
   let f x = (x, x * x) in
-  Alcotest.(check (list (pair int int)))
-    "jobs=3 equals in-process map" (List.map f xs)
-    (Sweep_pool.map ~jobs:3 f xs)
+  List.iter
+    (fun (label, backend) ->
+      Alcotest.(check (list (pair int int)))
+        (label ^ " jobs=3 equals in-process map")
+        (List.map f xs)
+        (Sweep_pool.map ~backend ~jobs:3 f xs))
+    backends
 
 let test_pool_edge_sizes () =
-  Alcotest.(check (list int))
-    "empty input" []
-    (Sweep_pool.map ~jobs:4 (fun x -> x) []);
-  Alcotest.(check (list int))
-    "fewer items than jobs" [ 2; 4 ]
-    (Sweep_pool.map ~jobs:8 (fun x -> 2 * x) [ 1; 2 ]);
-  Alcotest.(check (list int))
-    "jobs=1 stays in-process" [ 7 ]
-    (Sweep_pool.map ~jobs:1 (fun x -> 7 * x) [ 1 ])
+  List.iter
+    (fun (label, backend) ->
+      Alcotest.(check (list int))
+        (label ^ ": empty input") []
+        (Sweep_pool.map ~backend ~jobs:4 (fun x -> x) []);
+      Alcotest.(check (list int))
+        (label ^ ": fewer items than jobs")
+        [ 2; 4 ]
+        (Sweep_pool.map ~backend ~jobs:8 (fun x -> 2 * x) [ 1; 2 ]);
+      Alcotest.(check (list int))
+        (label ^ ": jobs=1 stays in-process")
+        [ 7 ]
+        (Sweep_pool.map ~backend ~jobs:1 (fun x -> 7 * x) [ 1 ]))
+    backends
 
 let test_pool_worker_error () =
-  match
-    Sweep_pool.map ~jobs:2
-      (fun x -> if x = 3 then failwith "boom" else x)
-      [ 1; 2; 3; 4 ]
-  with
-  | _ -> Alcotest.fail "expected Sweep_pool.Error"
-  | exception Sweep_pool.Error e ->
-    Alcotest.(check int) "one failed point" 1 (List.length e.point_failures);
-    let pf = List.hd e.point_failures in
-    Alcotest.(check int) "failing point index" 2 pf.Sweep_pool.point;
-    Alcotest.(check string) "exception text carried across the pipe"
-      "Failure(\"boom\")" pf.Sweep_pool.exn_text;
-    Alcotest.(check (list Alcotest.reject)) "a raising task is not a worker failure"
-      [] e.worker_failures
+  List.iter
+    (fun (label, backend) ->
+      match
+        Sweep_pool.map ~backend ~jobs:2
+          (fun x -> if x = 3 then failwith "boom" else x)
+          [ 1; 2; 3; 4 ]
+      with
+      | _ -> Alcotest.fail (label ^ ": expected Sweep_pool.Error")
+      | exception Sweep_pool.Error e ->
+        Alcotest.(check int)
+          (label ^ ": one failed point")
+          1
+          (List.length e.point_failures);
+        let pf = List.hd e.point_failures in
+        Alcotest.(check int)
+          (label ^ ": failing point index")
+          2 pf.Sweep_pool.point;
+        Alcotest.(check string)
+          (label ^ ": exception text carried back")
+          "Failure(\"boom\")" pf.Sweep_pool.exn_text;
+        Alcotest.(check (list Alcotest.reject))
+          (label ^ ": a raising task is not a worker failure")
+          [] e.worker_failures)
+    backends
 
 (* A SIGKILLed worker loses only its unfinished points: everything it
    already streamed back is salvaged, the rest is retried elsewhere. *)
@@ -56,7 +86,7 @@ let test_pool_chaos_kill_salvages () =
   let xs = List.init 12 (fun i -> i) in
   let failures = ref [] in
   let got =
-    Sweep_pool.map ~jobs:3 ~backoff:0.01
+    Sweep_pool.map ~backend:Sweep_pool.Fork ~jobs:3 ~backoff:0.01
       ~on_failure:(fun f -> failures := f :: !failures)
       (fun x -> x * x) xs
   in
@@ -82,7 +112,8 @@ let test_pool_chaos_truncation_classified () =
   with_env [ ("NETSIM_CHAOS_TRUNCATE_AFTER", "1") ] @@ fun () ->
   let xs = List.init 6 (fun i -> i) in
   let outcome =
-    Sweep_pool.map_collect ~jobs:2 ~backoff:0.01 (fun x -> x + 10) xs
+    Sweep_pool.map_collect ~backend:Sweep_pool.Fork ~jobs:2 ~backoff:0.01 (fun x -> x + 10)
+      xs
   in
   Alcotest.(check bool) "not interrupted" false outcome.interrupted;
   Array.iteri
@@ -113,7 +144,7 @@ let test_pool_retry_exhaustion_falls_back () =
   let xs = [ 1; 2; 3; 4; 5 ] in
   let failures = ref 0 in
   let got =
-    Sweep_pool.map ~jobs:2 ~max_retries:1 ~backoff:0.01
+    Sweep_pool.map ~backend:Sweep_pool.Fork ~jobs:2 ~max_retries:1 ~backoff:0.01
       ~on_failure:(fun _ -> incr failures)
       (fun x -> 3 * x)
       xs
@@ -129,7 +160,8 @@ let test_pool_retry_exhaustion_falls_back () =
 let test_pool_deadline_kills_hung_worker () =
   let causes = ref [] in
   let outcome =
-    Sweep_pool.map_collect ~jobs:2 ~max_retries:0 ~deadline:0.05
+    Sweep_pool.map_collect ~backend:Sweep_pool.Fork ~jobs:2 ~max_retries:0
+      ~deadline:0.05
       ~on_failure:(fun f -> causes := f.Sweep_pool.cause :: !causes)
       (fun x ->
         Unix.sleepf 0.5;
@@ -151,7 +183,7 @@ let test_pool_deadline_kills_hung_worker () =
    interrupted instead of finishing the grid. *)
 let test_pool_stop_interrupts () =
   let outcome =
-    Sweep_pool.map_collect ~jobs:2
+    Sweep_pool.map_collect ~backend:Sweep_pool.Fork ~jobs:2
       ~stop:(fun () -> true)
       (fun x -> x)
       (List.init 8 (fun i -> i))
@@ -174,18 +206,22 @@ let prop_chaos_determinism =
       @@ fun () ->
       let xs = List.init 11 (fun i -> i) in
       let f x = (x, (2 * x) + 1) in
-      Sweep_pool.map ~jobs ~backoff:0.01 f xs = List.map f xs)
+      Sweep_pool.map ~backend:Sweep_pool.Fork ~jobs ~backoff:0.01 f xs
+      = List.map f xs)
 
 (* ---------------- Driver determinism ---------------- *)
 
 let test_driver_jobs_identical () =
   let points = Sweep.Grids.smoke.points ~quick:true in
   let j1 = Sweep.Driver.to_json (Sweep.Driver.run ~jobs:1 points) in
-  let j2 = Sweep.Driver.to_json (Sweep.Driver.run ~jobs:2 points) in
+  let j2 =
+    Sweep.Driver.to_json
+      (Sweep.Driver.run ~backend:Sweep_pool.Fork ~jobs:2 points)
+  in
   Alcotest.(check string) "jobs 1 vs 2 byte-identical JSON" j1 j2;
   let j2_chaos =
     with_env [ ("NETSIM_CHAOS_KILL_AFTER", "1") ] (fun () ->
-        Sweep.Driver.to_json (Sweep.Driver.run ~jobs:2 ~backoff:0.01 points))
+        Sweep.Driver.to_json (Sweep.Driver.run ~backend:Sweep_pool.Fork ~jobs:2 ~backoff:0.01 points))
   in
   Alcotest.(check string) "jobs 2 with killed workers byte-identical" j1
     j2_chaos
