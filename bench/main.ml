@@ -746,33 +746,44 @@ let run_cc_bench () =
 (* 6. Observability overhead                                           *)
 (* ------------------------------------------------------------------ *)
 
-(* Cost of the lib/obs probe on the engine-bench run, in four
+(* Cost of the lib/obs probe on the engine-bench run, in five
    configurations:
-     off      — Probe.disabled: no hooks installed at all; must match the
-                bare runtime (this is the zero-overhead-when-absent claim)
-     metrics  — counters/gauges/histograms registered on every link and
-                connection; the per-event cost is an int store
-     series   — metrics plus the 1 Hz recorder sampling every metric into
-                step series off preallocated rows (the --metrics-out path)
-     trace    — full binary tracing (the --trace-out path: Btrace
-                writer, no flight ring) into a sink that drops the
-                bytes, so the number measures encoding, not disk
+     off       — Probe.disabled: no hooks installed at all; must match
+                 the bare runtime (the zero-overhead-when-absent claim)
+     metrics   — counters/gauges/histograms registered on every link and
+                 connection; the per-event cost is an int store
+     flowstats — metrics plus the per-flow accounting registry (the
+                 --flowstats-out path: Karn-mirrored RTT sampling, cwnd
+                 extrema, delivered/retransmit counters)
+     series    — metrics plus the 1 Hz recorder sampling every metric
+                 into step series off preallocated rows (--metrics-out)
+     trace     — full binary tracing (the --trace-out path: Btrace
+                 writer, no flight ring) into a sink that drops the
+                 bytes, so the number measures encoding, not disk
    [--json] commits the numbers to BENCH_obs.json; [--check FILE] gates
    each overhead percentage at the committed figure plus 25 percentage
-   points (ratios of wall-clock runs are too noisy for a relative band)
-   AND holds fully-traced runs under the 2x absolute target the binary
-   format was built for. *)
+   points (ratios of wall-clock runs are too noisy for a relative band),
+   holds fully-traced runs under the 2x absolute target the binary
+   format was built for, and holds flowstats under 1.10x the metrics-only
+   run of the same process (a same-run ratio, immune to baseline
+   drift). *)
 
 (* Fully-traced runs must stay under 2x the untraced runtime (i.e.
    +100% overhead) no matter what the committed baseline says. *)
 let trace_overhead_limit_pct = 100.
 
+(* Per-flow accounting must stay within 10% of the metrics-only runtime
+   measured in the same process. *)
+let flowstats_vs_metrics_limit = 1.10
+
 type obs_profile = {
   op_off_ms : float;
   op_metrics_ms : float;
+  op_flowstats_ms : float;
   op_series_ms : float;
   op_trace_ms : float;
   op_metrics_pct : float;
+  op_flowstats_pct : float;
   op_series_pct : float;
   op_trace_pct : float;
   op_events_traced : int;
@@ -786,6 +797,7 @@ let measure_obs () =
     [|
       (fun () -> Obs.Probe.disabled);
       (fun () -> Obs.Probe.setup ());
+      (fun () -> Obs.Probe.setup ~flowstats:true ());
       (fun () -> Obs.Probe.setup ~series_dt:1.0 ());
       trace_setup;
     |]
@@ -809,8 +821,9 @@ let measure_obs () =
   done;
   let off = best.(0) in
   let metrics = best.(1) in
-  let series = best.(2) in
-  let trace = best.(3) in
+  let flowstats = best.(2) in
+  let series = best.(3) in
+  let trace = best.(4) in
   let events_traced =
     let r = Core.Runner.run ~obs:(trace_setup ()) scenario in
     match r.Core.Runner.obs with
@@ -821,9 +834,11 @@ let measure_obs () =
   {
     op_off_ms = 1000. *. off;
     op_metrics_ms = 1000. *. metrics;
+    op_flowstats_ms = 1000. *. flowstats;
     op_series_ms = 1000. *. series;
     op_trace_ms = 1000. *. trace;
     op_metrics_pct = pct metrics;
+    op_flowstats_pct = pct flowstats;
     op_series_pct = pct series;
     op_trace_pct = pct trace;
     op_events_traced = events_traced;
@@ -833,6 +848,8 @@ let print_obs_profile (p : obs_profile) =
   Printf.printf "obs off:        %8.2f ms\n" p.op_off_ms;
   Printf.printf "metrics on:     %8.2f ms  (%+.1f %%)\n" p.op_metrics_ms
     p.op_metrics_pct;
+  Printf.printf "+flowstats:     %8.2f ms  (%+.1f %%)\n" p.op_flowstats_ms
+    p.op_flowstats_pct;
   Printf.printf "metrics+series: %8.2f ms  (%+.1f %%)\n" p.op_series_ms
     p.op_series_pct;
   Printf.printf "full tracing:   %8.2f ms  (%+.1f %%, %d events, binary)\n"
@@ -842,13 +859,17 @@ let write_obs_json file (p : obs_profile) =
   let oc = open_out file in
   Printf.fprintf oc
     "{\n  \"scenario\": \"fig4-two-way-100s\",\n\
-    \  \"off_ms\": %.2f,\n  \"metrics_ms\": %.2f,\n  \"series_ms\": %.2f,\n\
+    \  \"off_ms\": %.2f,\n  \"metrics_ms\": %.2f,\n\
+    \  \"flowstats_ms\": %.2f,\n  \"series_ms\": %.2f,\n\
     \  \"trace_ms\": %.2f,\n\
-    \  \"metrics_overhead_pct\": %.1f,\n  \"series_overhead_pct\": %.1f,\n\
+    \  \"metrics_overhead_pct\": %.1f,\n\
+    \  \"flowstats_overhead_pct\": %.1f,\n\
+    \  \"series_overhead_pct\": %.1f,\n\
     \  \"trace_overhead_pct\": %.1f,\n\
     \  \"events_traced\": %d\n}\n"
-    p.op_off_ms p.op_metrics_ms p.op_series_ms p.op_trace_ms p.op_metrics_pct
-    p.op_series_pct p.op_trace_pct p.op_events_traced;
+    p.op_off_ms p.op_metrics_ms p.op_flowstats_ms p.op_series_ms p.op_trace_ms
+    p.op_metrics_pct p.op_flowstats_pct p.op_series_pct p.op_trace_pct
+    p.op_events_traced;
   close_out oc;
   Printf.printf "wrote %s\n" file
 
@@ -862,6 +883,9 @@ let run_obs ~json () =
 let run_obs_check baseline_file =
   banner "OBSERVABILITY OVERHEAD: check against committed baseline";
   let base_metrics = json_number_field baseline_file "metrics_overhead_pct" in
+  let base_flowstats =
+    json_number_field baseline_file "flowstats_overhead_pct"
+  in
   let base_trace = json_number_field baseline_file "trace_overhead_pct" in
   let p = measure_obs () in
   print_obs_profile p;
@@ -880,11 +904,21 @@ let run_obs_check baseline_file =
     ok
   in
   let metrics_ok = check "metrics overhead" p.op_metrics_pct base_metrics in
+  let flowstats_ok =
+    check "flowstats overhead" p.op_flowstats_pct base_flowstats
+  in
+  (* Same-run ratio: flowstats vs the metrics-only best of this very
+     process, so machine speed and baseline drift cancel out. *)
+  let ratio = p.op_flowstats_ms /. p.op_metrics_ms in
+  let ratio_ok = ratio <= flowstats_vs_metrics_limit in
+  Printf.printf "%-24s %9.3fx  (limit %.2fx of metrics-only)  %s\n"
+    "flowstats/metrics" ratio flowstats_vs_metrics_limit
+    (if ratio_ok then "ok" else "REGRESSION");
   let trace_ok =
     check ~cap:trace_overhead_limit_pct "trace overhead" p.op_trace_pct
       base_trace
   in
-  if metrics_ok && trace_ok then 0 else 1
+  if metrics_ok && flowstats_ok && ratio_ok && trace_ok then 0 else 1
 
 (* ------------------------------------------------------------------ *)
 

@@ -354,6 +354,7 @@ type obs_cli = {
   metrics_out : string option;
   metrics_dt : float option;
   trace_out : string option;
+  flowstats_out : string option;
   flight : int;
   json : bool;
 }
@@ -390,6 +391,17 @@ let obs_term =
              binary format; convert offline with $(b,netsim trace \
              export FILE --format jsonl|perfetto).")
   in
+  let flowstats_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flowstats-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the per-flow accounting summary (delivered bytes, \
+             retransmits, RTT/FCT percentiles, Jain's index) as JSON to \
+             FILE.  The same summary is recomputable offline from a \
+             binary trace with $(b,netsim trace stats), byte for byte.")
+  in
   let flight =
     Arg.(
       value & opt int 0
@@ -407,15 +419,18 @@ let obs_term =
              metrics snapshot embedded) instead of the human-readable \
              report.")
   in
-  let mk metrics_out metrics_dt trace_out flight json =
-    { metrics_out; metrics_dt; trace_out; flight; json }
+  let mk metrics_out metrics_dt trace_out flowstats_out flight json =
+    { metrics_out; metrics_dt; trace_out; flowstats_out; flight; json }
   in
-  Term.(const mk $ metrics_out $ metrics_dt $ trace_out $ flight $ json)
+  Term.(
+    const mk $ metrics_out $ metrics_dt $ trace_out $ flowstats_out $ flight
+    $ json)
 
 let obs_setup_of_cli (cli : obs_cli) ~channels =
   let metrics = cli.metrics_out <> None || cli.json in
-  if not (metrics || cli.trace_out <> None || cli.flight > 0) then
-    Obs.Probe.disabled
+  let flowstats = cli.flowstats_out <> None in
+  if not (metrics || cli.trace_out <> None || cli.flight > 0 || flowstats)
+  then Obs.Probe.disabled
   else begin
     let btrace =
       match cli.trace_out with
@@ -429,7 +444,7 @@ let obs_setup_of_cli (cli : obs_cli) ~channels =
       ?series_dt:(if metrics then cli.metrics_dt else None)
       ?btrace
       ?flight:(if cli.flight > 0 then Some cli.flight else None)
-      ()
+      ~flowstats ()
   end
 
 (* {"final":{...},"series":{"name":[[t,v],...],...}} *)
@@ -567,6 +582,17 @@ let run_custom tau buffer fwd rev fixed delack ack_size algorithm cc pacing
          try flush oc; close_out oc with Sys_error _ -> ())
        (fun () -> output_string oc (metrics_file_json probe))
    | _ -> ());
+  (match (obs_cli.flowstats_out, r.obs) with
+   | Some file, Some probe ->
+     (match Obs.Probe.flowstats probe with
+      | Some fs ->
+        let oc = open_out file in
+        Fun.protect
+          ~finally:(fun () ->
+            try flush oc; close_out oc with Sys_error _ -> ())
+          (fun () -> output_string oc (Obs.Flowstats.to_json fs))
+      | None -> ())
+   | _ -> ());
   if obs_cli.json then begin
     print_string (Sweep.Summary.to_json (Sweep.Summary.of_result ~id:"custom" r));
     print_newline ();
@@ -638,7 +664,12 @@ let run_custom tau buffer fwd rev fixed delack ack_size algorithm cc pacing
       | None -> ());
      Option.iter
        (fun file -> Printf.printf "metrics: wrote %s\n" file)
-       obs_cli.metrics_out
+       obs_cli.metrics_out;
+     Option.iter
+       (fun file ->
+         Printf.printf "flowstats: wrote %s (netsim trace stats recomputes \
+                        it from a binary trace)\n" file)
+       obs_cli.flowstats_out
    | None -> ());
   let validation_exit = report_validation r in
   let stop_exit = report_stop r in
@@ -789,8 +820,46 @@ let backend_conv =
   in
   Arg.conv (parse, print)
 
+(* Live progress/ETA line on stderr ("\r"-rewritten, so stdout JSON
+   stays byte-deterministic).  Under the domain backend the callback
+   fires concurrently from worker domains; an atomic test-and-set
+   serializes the writers without a threads dependency (a contended
+   update is simply skipped — the next completion repaints), and a
+   ~0.2 s throttle keeps fast grids from flooding the terminal.  The
+   final point always paints so the line ends at 100%. *)
+let progress_reporter ~total ~started =
+  let busy = Atomic.make false in
+  let last_paint = ref 0. in
+  fun (p : Sweep_pool.progress) ->
+    if Atomic.compare_and_set busy false true then begin
+      let now = Unix.gettimeofday () in
+      if p.prog_done >= total || now -. !last_paint >= 0.2 then begin
+        last_paint := now;
+        let elapsed = now -. started in
+        let eta =
+          if p.prog_done > 0 && p.prog_done < total then
+            Printf.sprintf ", ETA %.0fs"
+              (elapsed /. float_of_int p.prog_done
+              *. float_of_int (total - p.prog_done))
+          else ""
+        in
+        let failures =
+          if p.prog_failures > 0 then
+            Printf.sprintf ", %d worker failure(s)" p.prog_failures
+          else ""
+        in
+        Printf.eprintf
+          "\rsweep: %d/%d points (%d%%), %d running, %.1fs elapsed%s%s \
+           \027[K%!"
+          p.prog_done total
+          (100 * p.prog_done / max 1 total)
+          p.prog_running elapsed eta failures
+      end;
+      Atomic.set busy false
+    end
+
 let run_sweep grid_name backend jobs out quick list_grids max_retries
-    worker_timeout guard_cli =
+    worker_timeout progress guard_cli =
   if list_grids then begin
     List.iter
       (fun (g : Sweep.Grids.spec) -> Printf.printf "%-14s %s\n" g.name g.title)
@@ -814,16 +883,23 @@ let run_sweep grid_name backend jobs out quick list_grids max_retries
        | _ -> ());
       let points = grid.points ~quick in
       let started = Unix.gettimeofday () in
+      let on_progress =
+        if progress then
+          Some (progress_reporter ~total:(List.length points) ~started)
+        else None
+      in
       let outcome =
         Sweep.Driver.run_collect ?backend ~jobs ~max_retries
           ?deadline:worker_timeout
           ~on_failure:(fun f ->
             Printf.eprintf "netsim sweep: %s\n%!"
               (Sweep_pool.worker_failure_to_string f))
+          ?on_progress
           ~stop:(fun () -> !interrupted)
           ~budget:(budget_of_guard guard_cli)
           ?bundle_dir:guard_cli.bundle_dir points
       in
+      if progress then prerr_newline ();
       let elapsed = Unix.gettimeofday () -. started in
       List.iter
         (fun (pf : Sweep_pool.point_failure) ->
@@ -928,12 +1004,21 @@ let sweep_cmd =
             "Treat a worker silent for SECONDS as hung: kill and respawn \
              it (counts against $(b,--max-retries)).")
   in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Paint a live progress/ETA line on stderr as points \
+             complete.  Stdout output is unaffected, so $(b,--out) JSON \
+             stays byte-deterministic.")
+  in
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Run a scenario grid across parallel workers.")
     Term.(
       const run_sweep $ grid_arg $ backend $ jobs $ out $ quick_flag
-      $ list_grids $ max_retries $ worker_timeout $ guard_term)
+      $ list_grids $ max_retries $ worker_timeout $ progress $ guard_term)
 
 (* ---------------- plot ---------------- *)
 
@@ -1062,7 +1147,7 @@ let run_trace_export file format out =
       | `Perfetto -> Obs.Btrace.export_chrome trace.items sink
     in
     (match out with
-     | None ->
+     | None | Some "-" ->
        export print_string;
        flush stdout
      | Some path ->
@@ -1072,6 +1157,81 @@ let run_trace_export file format out =
            try flush oc; close_out oc with Sys_error _ -> ())
          (fun () -> export (output_string oc)));
     0
+
+(* ---------------- trace stats ---------------- *)
+
+let opt_str to_s = function None -> "-" | Some v -> to_s v
+
+let print_flow_human (st : Obs.Flowstats.stats) =
+  let f = opt_str (Printf.sprintf "%.6g") in
+  Printf.printf "conn %d\n" st.s_conn;
+  Printf.printf "  start time       %.6g s\n" st.s_start_time;
+  Printf.printf "  flow size        %s\n"
+    (opt_str (Printf.sprintf "%d pkts") st.s_flow_size);
+  Printf.printf "  delivered        %d pkts / %d bytes\n" st.s_delivered_pkts
+    st.s_delivered_bytes;
+  Printf.printf "  sends            %d first, %d retransmits, %d loss events\n"
+    st.s_data_sends st.s_retransmits st.s_loss_events;
+  Printf.printf "  acked            %d pkts\n" st.s_acked_pkts;
+  Printf.printf "  rtt              %d samples, min %s / mean %s / max %s s\n"
+    st.s_rtt_samples (f st.s_rtt_min) (f st.s_rtt_mean) (f st.s_rtt_max);
+  Printf.printf "  rtt p50 / p99    %s / %s s\n" (f st.s_rtt_p50)
+    (f st.s_rtt_p99);
+  Printf.printf "  cwnd min / max   %s / %s pkts\n" (f st.s_cwnd_min)
+    (f st.s_cwnd_max);
+  Printf.printf "  fct              %s s\n" (f st.s_fct);
+  Printf.printf "  throughput       %s bytes/s\n" (f st.s_throughput)
+
+let print_stats_table fs =
+  let flows = Obs.Flowstats.all fs in
+  Printf.printf "%-5s %10s %12s %7s %7s %9s %9s %9s %11s\n" "conn" "dlvd-pkt"
+    "dlvd-bytes" "rexmt" "losses" "rtt-p50" "rtt-p99" "fct" "thruput";
+  List.iter
+    (fun (st : Obs.Flowstats.stats) ->
+      let f = opt_str (Printf.sprintf "%.4g") in
+      Printf.printf "%-5d %10d %12d %7d %7d %9s %9s %9s %11s\n" st.s_conn
+        st.s_delivered_pkts st.s_delivered_bytes st.s_retransmits
+        st.s_loss_events (f st.s_rtt_p50) (f st.s_rtt_p99) (f st.s_fct)
+        (f st.s_throughput))
+    flows;
+  let f = opt_str (Printf.sprintf "%.4g") in
+  Printf.printf "aggregate: %d flows, jain %s, fct p50/p99 %s/%s s\n"
+    (List.length flows)
+    (f (Obs.Flowstats.jain fs))
+    (f (Obs.Flowstats.fct_quantile fs 0.5))
+    (f (Obs.Flowstats.fct_quantile fs 0.99))
+
+let run_trace_stats file flow json =
+  let data =
+    try read_whole_file file
+    with Sys_error msg ->
+      prerr_endline ("trace stats: " ^ msg);
+      exit 2
+  in
+  match Obs.Btrace.read data with
+  | Error msg ->
+    Printf.eprintf "trace stats: %s: %s\n" file msg;
+    2
+  | Ok trace ->
+    (match trace.torn with
+     | Some msg -> Printf.eprintf "trace stats: %s: warning: %s\n" file msg
+     | None -> ());
+    let fs = Obs.Flowstats.create () in
+    List.iter (Obs.Flowstats.feed fs) trace.items;
+    (match flow with
+     | Some conn -> (
+       match Obs.Flowstats.stats fs ~conn with
+       | None ->
+         Printf.eprintf "trace stats: %s: no flow for conn %d\n" file conn;
+         1
+       | Some st ->
+         if json then print_endline (Obs.Flowstats.flow_json st)
+         else print_flow_human st;
+         0)
+     | None ->
+       if json then print_string (Obs.Flowstats.to_json fs)
+       else print_stats_table fs;
+       0)
 
 let trace_cmd =
   let export_cmd =
@@ -1097,7 +1257,7 @@ let trace_cmd =
         value
         & opt (some string) None
         & info [ "out"; "o" ] ~docv:"FILE"
-            ~doc:"Write to FILE instead of stdout.")
+            ~doc:"Write to FILE instead of stdout ($(b,-) means stdout).")
     in
     Cmd.v
       (Cmd.info "export"
@@ -1107,19 +1267,72 @@ let trace_cmd =
             reported on stderr; every complete record is still exported.")
       Term.(const run_trace_export $ file_arg $ format $ out)
   in
+  let stats_cmd =
+    let file_arg =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"FILE"
+            ~doc:"Binary trace written via $(b,--trace-out).")
+    in
+    let flow =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "flow" ] ~docv:"CONN"
+            ~doc:"Report a single connection instead of every flow.")
+    in
+    let json =
+      Arg.(
+        value & flag
+        & info [ "json" ]
+            ~doc:
+              "Emit the deterministic JSON encoding — byte-identical to \
+               the $(b,--flowstats-out) file of the traced run.")
+    in
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "Recompute per-flow accounting (delivered bytes, retransmits, \
+            RTT/FCT percentiles, Jain's index) offline from a binary \
+            trace.  Agrees bit-for-bit with the online \
+            $(b,--flowstats-out) summary of the run that wrote the \
+            trace.")
+      Term.(const run_trace_stats $ file_arg $ flow $ json)
+  in
   Cmd.group
     (Cmd.info "trace" ~doc:"Operate on binary event traces.")
-    [ export_cmd ]
+    [ export_cmd; stats_cmd ]
 
 (* ---------------- tracecheck ---------------- *)
 
 let run_tracecheck file key =
   let text = read_whole_file file in
   if String.length text >= 4 && String.sub text 0 4 = Obs.Btrace.magic then begin
-    Printf.eprintf
-      "%s: binary trace; convert first with netsim trace export %s\n" file
-      file;
-    1
+    (* Binary traces are audited directly: decode, then check reference
+       integrity (every event's conn declared) and time monotonicity. *)
+    match Obs.Btrace.validate text with
+    | Error msg ->
+      Printf.eprintf "%s: INVALID: %s\n" file msg;
+      1
+    | Ok a ->
+      List.iter
+        (fun e -> Printf.eprintf "%s: INVALID: %s\n" file e)
+        a.Obs.Btrace.audit_errors;
+      if a.Obs.Btrace.audit_errors <> [] then 1
+      else begin
+        (* A plain truncation (crash between batches) keeps a clean
+           prefix; note it but pass. *)
+        (match a.Obs.Btrace.audit_torn with
+         | Some msg -> Printf.eprintf "%s: warning: %s\n" file msg
+         | None -> ());
+        Printf.printf
+          "%s: OK (binary v%d, %d events, %d links, %d conns, time \
+           monotone)\n"
+          file a.Obs.Btrace.audit_version a.Obs.Btrace.audit_events
+          a.Obs.Btrace.audit_links a.Obs.Btrace.audit_conns;
+        0
+      end
   end
   else
   match Obs.Json.validate_jsonl ~key text with
@@ -1135,19 +1348,25 @@ let tracecheck_cmd =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"FILE" ~doc:"JSONL trace to validate.")
+      & info [] ~docv:"FILE"
+          ~doc:"JSONL or binary ($(b,--trace-out)) trace to validate.")
   in
   let key =
     Arg.(
       value & opt string "t"
       & info [ "key" ] ~docv:"FIELD"
-          ~doc:"Timestamp field that must be numeric and non-decreasing.")
+          ~doc:
+            "Timestamp field that must be numeric and non-decreasing \
+             (JSONL traces only).")
   in
   Cmd.v
     (Cmd.info "tracecheck"
        ~doc:
-         "Validate a JSONL event trace: every line parses as a JSON \
-          object and timestamps never go backwards.")
+         "Validate an event trace.  JSONL: every line parses as a JSON \
+          object and timestamps never go backwards.  Binary: decodes, \
+          checks every event references a declared connection, and \
+          checks time monotonicity (a truncated tail is a warning, a \
+          dangling reference an error).")
     Term.(const run_tracecheck $ file_arg $ key)
 
 (* ---------------- replay ---------------- *)

@@ -7,6 +7,8 @@
      0x00 string-def   varint sid, varint length, raw bytes
      0x01 link-def     varint link id, varint name sid, f64 bandwidth
      0x02 conn-def     varint conn id
+     0x03 conn-meta    varint conn id, f64 start_time,
+                       varint (flow_size + 1; 0 = infinite)   [since v2]
      0x10..0x19 event  varint64 zigzag(delta of Int64.bits_of_float t),
                        then the event payload below
 
@@ -28,11 +30,16 @@
    complete record plus a description of the torn tail. *)
 
 let magic = "NSBT"
-let version = 1
+
+(* v2 added the conn-meta record (0x03); everything else is unchanged,
+   so the reader accepts both versions. *)
+let version = 2
+let min_version = 1
 
 let tag_string = 0x00
 let tag_link = 0x01
 let tag_conn = 0x02
+let tag_conn_meta = 0x03
 let tag_inject = 0x10
 let tag_deliver = 0x11
 let tag_enqueue = 0x12
@@ -72,7 +79,11 @@ type ev =
   | Loss of { conn : int; reason : string }
   | Ack_tx of { conn : int; ackno : int; delayed : bool; dup : bool }
 
-type item = Def_link of link | Def_conn of int | Event of float * ev
+type item =
+  | Def_link of link
+  | Def_conn of int
+  | Def_conn_meta of { conn : int; start_time : float; flow_size : int option }
+  | Event of float * ev
 
 type file = { file_version : int; items : item list; torn : string option }
 
@@ -232,6 +243,15 @@ let declare_conn w conn =
   let pos = put_byte w.seg w.pos tag_conn in
   w.pos <- put_varint w.seg pos conn
 
+let declare_conn_meta w conn ~start_time ~flow_size =
+  ensure w 27;
+  let seg = w.seg in
+  let pos = put_byte seg w.pos tag_conn_meta in
+  let pos = put_varint seg pos conn in
+  let pos = put_f64 seg pos start_time in
+  w.pos <-
+    put_varint seg pos (match flow_size with None -> 0 | Some n -> n + 1)
+
 let zigzag d = Int64.logxor (Int64.shift_left d 1) (Int64.shift_right d 63)
 
 let unzigzag z =
@@ -349,10 +369,11 @@ let read data =
     Error "not a netsim binary trace (bad magic)"
   else
     let file_version = Char.code data.[4] in
-    if file_version <> version then
+    if file_version < min_version || file_version > version then
       Error
-        (Printf.sprintf "unsupported binary trace version %d (expected %d)"
-           file_version version)
+        (Printf.sprintf
+           "unsupported binary trace version %d (expected %d..%d)"
+           file_version min_version version)
     else begin
       let pos = ref 5 in
       let torn msg = raise (Torn msg) in
@@ -450,6 +471,14 @@ let read data =
               end
               else if tag = tag_conn then
                 items := Def_conn (read_varint ()) :: !items
+              else if tag = tag_conn_meta then begin
+                let conn = read_varint () in
+                let start_time = read_f64 () in
+                let flow_size =
+                  match read_varint () with 0 -> None | n -> Some (n - 1)
+                in
+                items := Def_conn_meta { conn; start_time; flow_size } :: !items
+              end
               else begin
                 let time = read_time () in
                 let ev =
@@ -577,7 +606,7 @@ let jsonl_line ~time ev =
 let export_jsonl items sink =
   List.iter
     (function
-      | Def_link _ | Def_conn _ -> ()
+      | Def_link _ | Def_conn _ | Def_conn_meta _ -> ()
       | Event (time, ev) ->
         sink (jsonl_line ~time ev);
         sink "\n")
@@ -640,6 +669,8 @@ let export_chrome items sink =
     (function
       | Def_link l -> meta ~tid:(link_tid l) ~name:("link " ^ l.link_name)
       | Def_conn c -> meta ~tid:(conn_tid c) ~name:(Printf.sprintf "conn %d" c)
+      | Def_conn_meta { conn = c; _ } ->
+        meta ~tid:(conn_tid c) ~name:(Printf.sprintf "conn %d" c)
       | Event (time, ev) -> (
         match ev with
         | Inject p ->
@@ -689,3 +720,85 @@ let export_chrome items sink =
                  (if dup then " dup" else ""))))
     items;
   sink "\n]}\n"
+
+(* ------------------------------------------------------------------ *)
+(* Validation (tracecheck on the binary directly)                      *)
+(* ------------------------------------------------------------------ *)
+
+type audit = {
+  audit_version : int;
+  audit_events : int;
+  audit_links : int;
+  audit_conns : int;
+  audit_torn : string option;
+  audit_errors : string list;
+}
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i =
+    i + n <= h && (String.sub haystack i n = needle || go (i + 1))
+  in
+  n = 0 || go 0
+
+let ev_conn = function
+  | Inject p | Deliver p -> p.conn
+  | Enqueue { pkt; _ } | Drop { pkt; _ } | Depart { pkt; _ }
+  | Fault { pkt; _ } ->
+    pkt.conn
+  | Send { conn; _ } | Cwnd { conn; _ } | Loss { conn; _ }
+  | Ack_tx { conn; _ } ->
+    conn
+
+(* Decode and audit: every event must reference a declared connection
+   (link and string references are enforced by the decoder itself — an
+   undefined id stops the walk with a torn note naming it), and event
+   times must be non-decreasing.  A torn tail from a plain truncation is
+   reported but is not an error (crash traces are valid prefixes); a
+   torn note caused by a dangling reference or an unknown tag is. *)
+let validate data =
+  match read data with
+  | Error msg -> Error msg
+  | Ok { file_version; items; torn } ->
+    let conns = Hashtbl.create 8 in
+    let links = ref 0 in
+    let events = ref 0 in
+    let missing = Hashtbl.create 8 in
+    let errors = ref [] in
+    let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+    let prev_time = ref neg_infinity in
+    List.iter
+      (fun item ->
+        match item with
+        | Def_link _ -> incr links
+        | Def_conn c -> Hashtbl.replace conns c ()
+        | Def_conn_meta { conn; _ } -> Hashtbl.replace conns conn ()
+        | Event (time, ev) ->
+          incr events;
+          let c = ev_conn ev in
+          if not (Hashtbl.mem conns c) && not (Hashtbl.mem missing c) then begin
+            Hashtbl.add missing c ();
+            err "event %d (%s at t=%s) references undeclared conn %d"
+              !events (ev_label ev) (Json.float_repr time) c
+          end;
+          if time < !prev_time then
+            err "time goes backwards at event %d: %s -> %s" !events
+              (Json.float_repr !prev_time)
+              (Json.float_repr time);
+          prev_time := time)
+      items;
+    (match torn with
+     | Some msg
+       when contains_substring msg "undefined"
+            || contains_substring msg "unknown record tag" ->
+       err "torn tail reports a broken reference: %s" msg
+     | _ -> ());
+    Ok
+      {
+        audit_version = file_version;
+        audit_events = !events;
+        audit_links = !links;
+        audit_conns = Hashtbl.length conns;
+        audit_torn = torn;
+        audit_errors = List.rev !errors;
+      }

@@ -1,7 +1,7 @@
 (** Compact binary trace format: the hot-path encoding behind {!Tracer}
     plus the offline reader and JSONL / Chrome-trace formatters.
 
-    {2 Format (version 1)}
+    {2 Format (version 2)}
 
     A file is a 5-byte header — the magic bytes ["NSBT"] and one
     version byte — followed by a flat sequence of records.  Each record
@@ -11,9 +11,15 @@
     0x00 string-def   varint sid, varint length, raw bytes
     0x01 link-def     varint link id, varint name sid, f64 bandwidth
     0x02 conn-def     varint conn id
+    0x03 conn-meta    varint conn id, f64 start_time,
+                      varint (flow_size + 1; 0 = infinite)   [since v2]
     0x10-0x19 event   varint64 zigzag(delta of bits_of_float time),
                       then event-specific fields
     v}
+
+    Version 2 added the conn-meta record so offline analytics can
+    recover per-flow start times and sizes; version-1 files remain
+    readable.
 
     Integers are unsigned LEB128 varints; floats that must survive
     bit-exactly (times, cwnd, ssthresh, bandwidth) travel as IEEE-754
@@ -29,6 +35,9 @@
 
 val magic : string
 val version : int
+
+(** Oldest file version {!read} still accepts. *)
+val min_version : int
 
 (** {2 Decoded plain data}
 
@@ -61,7 +70,11 @@ type ev =
   | Loss of { conn : int; reason : string }
   | Ack_tx of { conn : int; ackno : int; delayed : bool; dup : bool }
 
-type item = Def_link of link | Def_conn of int | Event of float * ev
+type item =
+  | Def_link of link
+  | Def_conn of int
+  | Def_conn_meta of { conn : int; start_time : float; flow_size : int option }
+  | Event of float * ev
 
 type file = {
   file_version : int;
@@ -98,6 +111,12 @@ val declare_link : writer -> Net.Link.t -> unit
 
 val declare_conn : writer -> int -> unit
 
+(** Conn-def plus flow metadata (start time, sized-flow length in
+    packets, [None] = infinite): one 0x03 record — emit this {e instead
+    of} {!declare_conn} when the metadata is known. *)
+val declare_conn_meta :
+  writer -> int -> start_time:float -> flow_size:int option -> unit
+
 (** Append one event record to the segment buffer. *)
 val event : writer -> time:float -> Event.t -> unit
 
@@ -125,3 +144,29 @@ val export_jsonl : item list -> (string -> unit) -> unit
     sink: link/conn defs become thread-name metadata, departures become
     complete slices spanning the serialization interval. *)
 val export_chrome : item list -> (string -> unit) -> unit
+
+(** {2 Validation}
+
+    Reference-integrity and well-formedness audit of a binary trace,
+    without converting it first. *)
+
+type audit = {
+  audit_version : int;
+  audit_events : int;
+  audit_links : int;
+  audit_conns : int;  (** distinct declared connections *)
+  audit_torn : string option;
+      (** torn-tail note from the decoder, if any — a plain truncation
+          (crash before the final flush) is reported here but is not an
+          error *)
+  audit_errors : string list;
+      (** integrity violations: events referencing a connection never
+          declared (by conn-def or conn-meta), event times going
+          backwards, or a torn note caused by a dangling string/link
+          reference or an unknown record tag *)
+}
+
+(** Decode and audit.  [Error] only when the data is not a readable
+    binary trace at all (same cases as {!read}); integrity violations
+    land in [audit_errors]. *)
+val validate : string -> (audit, string) result

@@ -1,0 +1,117 @@
+(** Per-flow accounting: delivered bytes, retransmits, RTT samples,
+    cwnd extrema and flow-completion time for every connection, plus
+    aggregate fairness and distribution views.
+
+    The registry is array-backed and free-listed like the engine's
+    pools: registering a flow takes a slot, {!release} returns it, and
+    the steady-state accounting path allocates nothing.  RTT and FCT
+    distributions go through {!Sketch}, so memory stays bounded at
+    10^4+ flows.
+
+    The same [record_*] accounting functions are driven online (from
+    {!Probe} hooks during a run) and offline (from {!feed} folding a
+    decoded binary trace); they mirror the sender's own bookkeeping —
+    including Karn's algorithm for RTT sampling — so the two paths
+    agree {e bit-for-bit}: {!to_json} of a live run equals {!to_json}
+    of its own trace, byte for byte. *)
+
+type t
+
+val create : unit -> t
+
+(** Relative-error bound of every reported percentile
+    ({!Sketch.default_alpha}). *)
+val alpha : float
+
+(** Take a slot for [conn].  Registering an already-registered conn
+    only refreshes the metadata (counters are kept).
+    @raise Invalid_argument on a negative conn id. *)
+val register : t -> conn:int -> start_time:float -> flow_size:int option -> unit
+
+(** Return [conn]'s slot to the free list; unknown conns are ignored. *)
+val release : t -> conn:int -> unit
+
+val flow_count : t -> int
+
+(** {2 Accounting}
+
+    Events for unregistered connections are ignored. *)
+
+(** A data-packet transmission ({!Event.Send}).  A first transmission
+    starts the RTT timer when none is running; a retransmission counts
+    and clears it (Karn). *)
+val record_send :
+  t -> time:float -> conn:int -> seq:int -> retransmit:bool -> unit
+
+(** A data packet reaching the receiver ({!Event.Deliver}, Data). *)
+val record_data_delivered : t -> conn:int -> bytes:int -> unit
+
+(** A cumulative ACK reaching the sender ({!Event.Deliver}, Ack; the
+    ackno travels in the packet's [seq] field).  Samples the RTT when
+    the ACK covers the timed sequence, records completion when it
+    covers a sized flow. *)
+val record_ack_delivered : t -> time:float -> conn:int -> ackno:int -> unit
+
+(** A loss signal ({!Event.Loss}): counts, and clears the RTT timer. *)
+val record_loss : t -> conn:int -> unit
+
+(** A cwnd change ({!Event.Cwnd}): tracks the extrema. *)
+val record_cwnd : t -> conn:int -> cwnd:float -> unit
+
+(** {2 Offline}
+
+    Fold one decoded binary-trace record: conn-defs register flows
+    (bare v1 conn-defs with [start_time = 0.], infinite size), events
+    dispatch to the [record_*] functions above, everything else is
+    skipped. *)
+val feed : t -> Btrace.item -> unit
+
+(** {2 Views} *)
+
+type stats = {
+  s_conn : int;
+  s_start_time : float;
+  s_flow_size : int option;
+  s_delivered_pkts : int;  (** data packets that reached the receiver *)
+  s_delivered_bytes : int;
+  s_data_sends : int;  (** first transmissions *)
+  s_retransmits : int;
+  s_loss_events : int;
+  s_acked_pkts : int;  (** highest cumulative ackno seen *)
+  s_rtt_samples : int;
+  s_rtt_min : float option;
+  s_rtt_mean : float option;
+  s_rtt_max : float option;
+  s_rtt_p50 : float option;
+  s_rtt_p99 : float option;
+  s_cwnd_min : float option;
+  s_cwnd_max : float option;
+  s_fct : float option;
+      (** completion time - start time, sized flows only *)
+  s_throughput : float option;  (** delivered bytes / fct, completed only *)
+}
+
+val stats : t -> conn:int -> stats option
+
+(** Every live flow, in connection-id order. *)
+val all : t -> stats list
+
+(** Jain's fairness index over per-flow delivered bytes ([None] when no
+    flows; 1.0 when nothing was delivered at all). *)
+val jain : t -> float option
+
+(** Cross-flow distribution quantiles (completed flows for FCT; every
+    RTT sample of every flow for RTT). *)
+val fct_quantile : t -> float -> float option
+
+val rtt_quantile : t -> float -> float option
+
+(** {2 JSON}
+
+    Deterministic encodings: fixed key order, shortest round-trip
+    floats ([null] for absent values).  {!to_json} is the
+    online/offline identity artifact — a trailing newline included, so
+    the CLI can write it to a file verbatim. *)
+
+val flow_json : stats -> string
+val to_json : t -> string

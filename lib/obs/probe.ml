@@ -4,22 +4,26 @@ type setup = {
   btrace : Tracer.sink option;
   flight : int option;
   flight_sink : Tracer.sink;
+  flowstats : bool;
 }
 
-let setup ?(metrics = true) ?series_dt ?btrace ?flight ?flight_sink () =
+let setup ?(metrics = true) ?series_dt ?btrace ?flight ?flight_sink
+    ?(flowstats = false) () =
   let flight_sink =
     match flight_sink with Some s -> s | None -> prerr_string
   in
-  { metrics; series_dt; btrace; flight; flight_sink }
+  { metrics; series_dt; btrace; flight; flight_sink; flowstats }
 
 let disabled = setup ~metrics:false ()
 
-let is_enabled s = s.metrics || s.btrace <> None || s.flight <> None
+let is_enabled s =
+  s.metrics || s.btrace <> None || s.flight <> None || s.flowstats
 
 type t = {
   registry : Metrics.t option;
   recorder : Metrics.recorder option;
   tr : Tracer.t option;
+  fs : Flowstats.t option;
   flight_sink : Tracer.sink;
   mutable flight_dumped : bool;
 }
@@ -85,8 +89,18 @@ let wire_link ~sim ~registry ~tr link =
       bump faults;
       emit tr (Event.Fault { link; label = fault_label fe; pkt }))
 
-let wire_conn ~registry ~tr (cid, conn) =
-  (match tr with Some tr -> Tracer.declare_conn tr cid | None -> ());
+let wire_conn ~registry ~tr ~fs (cid, conn) =
+  let cfg = Tcp.Connection.config conn in
+  (match tr with
+   | Some tr ->
+     Tracer.declare_conn_meta tr cid ~start_time:cfg.Tcp.Config.start_time
+       ~flow_size:cfg.Tcp.Config.flow_size
+   | None -> ());
+  (match fs with
+   | Some fs ->
+     Flowstats.register fs ~conn:cid ~start_time:cfg.Tcp.Config.start_time
+       ~flow_size:cfg.Tcp.Config.flow_size
+   | None -> ());
   let s = Tcp.Connection.sender conn in
   let r = Tcp.Connection.receiver conn in
   let pfx = Printf.sprintf "conn.%d" cid in
@@ -105,17 +119,24 @@ let wire_conn ~registry ~tr (cid, conn) =
   let acks = copt registry (pfx ^ ".acks") in
   let delacks = copt registry (pfx ^ ".delayed_acks") in
   let dupacks = copt registry (pfx ^ ".dup_acks") in
-  (* cwnd is covered by a snapshot-time gauge; the hook is pure tracing. *)
-  (match tr with
-   | Some tracer ->
+  (* cwnd is covered by a snapshot-time gauge; the hook serves tracing
+     and the per-flow extrema. *)
+  (match (tr, fs) with
+   | (None, None) -> ()
+   | _ ->
      Tcp.Sender.on_cwnd s (fun _time ~cwnd ~ssthresh ->
-         Tracer.emit tracer (Event.Cwnd { conn = cid; cwnd; ssthresh }))
-   | None -> ());
+         (match fs with
+          | Some fs -> Flowstats.record_cwnd fs ~conn:cid ~cwnd
+          | None -> ());
+         emit tr (Event.Cwnd { conn = cid; cwnd; ssthresh })));
   Tcp.Sender.on_loss s (fun _time reason ->
       bump cuts;
       (match reason with
        | Tcp.Sender.Timeout -> bump touts
        | Tcp.Sender.Dup_ack -> bump frexmt);
+      (match fs with
+       | Some fs -> Flowstats.record_loss fs ~conn:cid
+       | None -> ());
       emit tr
         (Event.Loss
            { conn = cid;
@@ -124,8 +145,13 @@ let wire_conn ~registry ~tr (cid, conn) =
                 | Tcp.Sender.Timeout -> "timeout"
                 | Tcp.Sender.Dup_ack -> "dup_ack");
            }));
-  Tcp.Sender.on_send s (fun _time pkt ->
+  Tcp.Sender.on_send s (fun time pkt ->
       bump sends;
+      (match fs with
+       | Some fs ->
+         Flowstats.record_send fs ~time ~conn:cid ~seq:pkt.Net.Packet.seq
+           ~retransmit:pkt.Net.Packet.retransmit
+       | None -> ());
       emit tr (Event.Send { conn = cid; pkt }));
   Tcp.Receiver.on_ack_sent r (fun _time ~ackno ~delayed ~dup ->
       bump acks;
@@ -143,6 +169,7 @@ let attach setup ~net ~conns =
       Some (Tracer.create ?btrace:setup.btrace ?flight sim)
     else None
   in
+  let fs = if setup.flowstats then Some (Flowstats.create ()) else None in
   let registry = if setup.metrics then Some (Metrics.create ()) else None in
   (match registry with
    | Some reg ->
@@ -153,15 +180,27 @@ let attach setup ~net ~conns =
    | None -> ());
   let injected = copt registry "net.injected" in
   let delivered = copt registry "net.delivered" in
-  if registry <> None || tr <> None then begin
+  if registry <> None || tr <> None || fs <> None then begin
     Net.Network.on_inject net (fun _time p ->
         bump injected;
         emit tr (Event.Inject p));
     Net.Network.on_deliver net (fun _time p ->
         bump delivered;
+        (match fs with
+         | Some fs -> (
+           (* Stamp with [Sim.now] like the tracer does, so the offline
+              fold over the trace sees bit-identical times. *)
+           match p.Net.Packet.kind with
+           | Net.Packet.Data ->
+             Flowstats.record_data_delivered fs ~conn:p.Net.Packet.conn
+               ~bytes:p.Net.Packet.size
+           | Net.Packet.Ack ->
+             Flowstats.record_ack_delivered fs ~time:(Engine.Sim.now sim)
+               ~conn:p.Net.Packet.conn ~ackno:p.Net.Packet.seq)
+         | None -> ());
         emit tr (Event.Deliver p));
     List.iter (wire_link ~sim ~registry ~tr) (Net.Network.links net);
-    List.iter (wire_conn ~registry ~tr) conns
+    List.iter (wire_conn ~registry ~tr ~fs) conns
   end;
   (* The recorder snapshots whatever is registered at creation time, so it
      must come after all of the wiring above. *)
@@ -170,7 +209,7 @@ let attach setup ~net ~conns =
     | Some reg, Some dt -> Some (Metrics.record reg sim ~dt)
     | _ -> None
   in
-  { registry; recorder; tr; flight_sink = setup.flight_sink;
+  { registry; recorder; tr; fs; flight_sink = setup.flight_sink;
     flight_dumped = false }
 
 let flight t = Option.bind t.tr Tracer.flight
@@ -204,6 +243,7 @@ let arm_report t report =
 let finish t = match t.tr with Some tr -> Tracer.finish tr | None -> ()
 let metrics t = t.registry
 let tracer t = t.tr
+let flowstats t = t.fs
 
 let final_metrics t =
   match t.registry with Some reg -> Metrics.snapshot reg | None -> []

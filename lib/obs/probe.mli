@@ -20,13 +20,16 @@ type setup
     - [btrace]: binary trace sink (see {!Tracer.create}); convert
       offline with {!Btrace} or [netsim trace export].
     - [flight]: keep a flight-recorder ring of the last [n] events.
-    - [flight_sink] (default stderr): where {!dump_flight} writes. *)
+    - [flight_sink] (default stderr): where {!dump_flight} writes.
+    - [flowstats] (default [false]): per-flow accounting registry
+      ({!Flowstats}) fed from the same hooks; zero cost when off. *)
 val setup :
   ?metrics:bool ->
   ?series_dt:float ->
   ?btrace:Tracer.sink ->
   ?flight:int ->
   ?flight_sink:Tracer.sink ->
+  ?flowstats:bool ->
   unit ->
   setup
 
@@ -60,6 +63,7 @@ val finish : t -> unit
 
 val metrics : t -> Metrics.t option
 val tracer : t -> Tracer.t option
+val flowstats : t -> Flowstats.t option
 val flight : t -> Tracer.flight_record Flight.t option
 
 (** Final scalar snapshot of every metric ([[]] without a registry). *)

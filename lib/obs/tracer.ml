@@ -39,6 +39,11 @@ let declare_link t link =
 let declare_conn t conn =
   match t.writer with Some w -> Btrace.declare_conn w conn | None -> ()
 
+let declare_conn_meta t conn ~start_time ~flow_size =
+  match t.writer with
+  | Some w -> Btrace.declare_conn_meta w conn ~start_time ~flow_size
+  | None -> ()
+
 let emit t ev =
   let time = Engine.Sim.now t.sim in
   t.emitted <- t.emitted + 1;

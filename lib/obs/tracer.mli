@@ -32,6 +32,12 @@ val declare_link : t -> Net.Link.t -> unit
 
 val declare_conn : t -> int -> unit
 
+(** Like {!declare_conn}, but writes a conn-meta record carrying the
+    flow's start time and size, which offline analytics
+    ([netsim trace stats]) recover. *)
+val declare_conn_meta :
+  t -> int -> start_time:float -> flow_size:int option -> unit
+
 (** Stamp the event with the current simulated time, append its binary
     record, and copy it into the flight ring if one is armed. *)
 val emit : t -> Event.t -> unit

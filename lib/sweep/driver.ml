@@ -26,10 +26,10 @@ let run ?backend ?jobs ?max_retries ?backoff ?deadline ?on_failure ?budget
     points
 
 let run_collect ?backend ?jobs ?max_retries ?backoff ?deadline ?on_failure
-    ?stop ?budget ?bundle_dir points =
+    ?on_progress ?stop ?budget ?bundle_dir points =
   let jobs = match jobs with Some j -> j | None -> Sweep_pool.default_jobs () in
   Sweep_pool.map_collect ?backend ~jobs ?max_retries ?backoff ?deadline
-    ?on_failure ?stop
+    ?on_failure ?on_progress ?stop
     (run_point ?budget ?bundle_dir)
     points
 

@@ -55,7 +55,8 @@ val run :
     ledgers, interrupt flag).  [stop] is polled between points and by
     the pool's supervision loop — when it returns [true] the sweep
     drains in-flight points and returns a partial outcome with
-    [interrupted = true]. *)
+    [interrupted = true].  [on_progress] fires after every accounted
+    point (see {!Sweep_pool.map_collect}: domain-safe, stderr only). *)
 val run_collect :
   ?backend:Sweep_pool.backend ->
   ?jobs:int ->
@@ -63,6 +64,7 @@ val run_collect :
   ?backoff:float ->
   ?deadline:float ->
   ?on_failure:(Sweep_pool.worker_failure -> unit) ->
+  ?on_progress:(Sweep_pool.progress -> unit) ->
   ?stop:(unit -> bool) ->
   ?budget:Core.Runner.budget ->
   ?bundle_dir:string ->

@@ -33,19 +33,22 @@ type task_failure = { index : int; exn_text : string; backtrace : string }
 val run :
   jobs:int ->
   stop:(unit -> bool) ->
+  on_result:(int -> unit) ->
   ('a -> 'b) ->
   'a array ->
   'b option array ->
   task_failure list * bool
-(** [run ~jobs ~stop f tasks results] computes [f tasks.(i)] for every
-    [i], writing successes into [results.(i)] in place.  Returns the
-    task failures in ascending index order, and whether a cooperative
-    stop was observed ([stop] polled between tasks; on [true] the
-    in-flight tasks finish, the rest are left [None]).
+(** [run ~jobs ~stop ~on_result f tasks results] computes [f tasks.(i)]
+    for every [i], writing successes into [results.(i)] in place.
+    Returns the task failures in ascending index order, and whether a
+    cooperative stop was observed ([stop] polled between tasks; on
+    [true] the in-flight tasks finish, the rest are left [None]).
 
     [stop] is called from worker domains and must therefore be
     domain-safe; a monotonic [bool ref] flipped by a signal handler —
-    what [netsim] uses — is fine.
+    what [netsim] uses — is fine.  [on_result] fires once per finished
+    task (success or raise), also from worker domains, and must be
+    domain-safe too; pass [ignore] when unused.
 
     The caller guarantees [jobs >= 2], [Array.length results =
     Array.length tasks], and [available = true]; the 4.14 stub raises

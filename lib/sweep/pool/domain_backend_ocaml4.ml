@@ -8,7 +8,7 @@ let available = false
 
 type task_failure = { index : int; exn_text : string; backtrace : string }
 
-let run ~jobs:_ ~stop:_ _f _tasks _results =
+let run ~jobs:_ ~stop:_ ~on_result:_ _f _tasks _results =
   failwith "Domain_backend.run: domains require OCaml >= 5.0"
 
 (* Mention the type so the 4.14 build doesn't flag it unused. *)

@@ -14,7 +14,7 @@ type task_failure = { index : int; exn_text : string; backtrace : string }
    tail imbalance when task costs drift along the array. *)
 let chunk_for ~n ~jobs = min 1024 (max 1 (n / (jobs * 16)))
 
-let run ~jobs ~stop f tasks results =
+let run ~jobs ~stop ~on_result f tasks results =
   let n = Array.length tasks in
   let next = Atomic.make 0 in
   let stopped = Atomic.make false in
@@ -37,16 +37,19 @@ let run ~jobs ~stop f tasks results =
         else
           for i = start to min n (start + chunk) - 1 do
             if not (should_stop ()) then begin
-              match f tasks.(i) with
-              | r -> results.(i) <- Some r
-              | exception e ->
-                failures :=
-                  {
-                    index = i;
-                    exn_text = Printexc.to_string e;
-                    backtrace = Printexc.get_backtrace ();
-                  }
-                  :: !failures
+              (match f tasks.(i) with
+               | r -> results.(i) <- Some r
+               | exception e ->
+                 failures :=
+                   {
+                     index = i;
+                     exn_text = Printexc.to_string e;
+                     backtrace = Printexc.get_backtrace ();
+                   }
+                   :: !failures);
+              (* Fires from this worker domain; the callback contract
+                 requires domain-safety. *)
+              on_result i
             end
           done
       end

@@ -443,10 +443,18 @@ type 'b outcome = {
   interrupted : bool;
 }
 
+type progress = {
+  prog_done : int;
+  prog_total : int;
+  prog_running : int;
+  prog_failures : int;
+}
+
 let select_tick = 0.25 (* s; bounds stop-poll and respawn latency *)
 
 let map_collect ?backend ?(jobs = 1) ?(max_retries = 2) ?(backoff = 0.05)
-    ?deadline ?(on_failure = fun _ -> ()) ?(stop = fun () -> false) f xs =
+    ?deadline ?(on_failure = fun _ -> ())
+    ?(on_progress = fun (_ : progress) -> ()) ?(stop = fun () -> false) f xs =
   let tasks = Array.of_list xs in
   let n = Array.length tasks in
   let results = Array.make n None in
@@ -454,6 +462,20 @@ let map_collect ?backend ?(jobs = 1) ?(max_retries = 2) ?(backoff = 0.05)
   let worker_failures = ref [] in
   let interrupted = ref false in
   let poisoned = Hashtbl.create 8 in
+  (* Completed-point count for progress reporting; single-writer in the
+     Seq and Fork paths (the parent banks every frame), atomic under
+     Domain where worker domains report completions directly. *)
+  let done_count = Atomic.make 0 in
+  let notify ~running () =
+    let d = Atomic.get done_count in
+    on_progress
+      {
+        prog_done = d;
+        prog_total = n;
+        prog_running = running;
+        prog_failures = List.length !worker_failures;
+      }
+  in
   let record_point_failure pf =
     Hashtbl.replace poisoned pf.point ();
     point_failures := pf :: !point_failures
@@ -466,16 +488,19 @@ let map_collect ?backend ?(jobs = 1) ?(max_retries = 2) ?(backoff = 0.05)
           match results.(i) with
           | Some _ -> ()
           | None ->
-            if not (Hashtbl.mem poisoned i) then (
-              match f tasks.(i) with
-              | r -> results.(i) <- Some r
-              | exception e ->
-                record_point_failure
-                  {
-                    point = i;
-                    exn_text = Printexc.to_string e;
-                    backtrace = Printexc.get_backtrace ();
-                  }))
+            if not (Hashtbl.mem poisoned i) then begin
+              (match f tasks.(i) with
+               | r -> results.(i) <- Some r
+               | exception e ->
+                 record_point_failure
+                   {
+                     point = i;
+                     exn_text = Printexc.to_string e;
+                     backtrace = Printexc.get_backtrace ();
+                   });
+              Atomic.incr done_count;
+              notify ~running:0 ()
+            end)
       indices
   in
   let jobs = min jobs n in
@@ -512,7 +537,15 @@ let map_collect ?backend ?(jobs = 1) ?(max_retries = 2) ?(backoff = 0.05)
        failures, no retries, no deadlines — a task exception is a point
        failure exactly as in the sequential path, and a crash takes the
        whole process down (there is no isolation to salvage). *)
-    let failures, stopped = Domain_backend.run ~jobs ~stop f tasks results in
+    let failures, stopped =
+      Domain_backend.run ~jobs ~stop
+        ~on_result:(fun _i ->
+          (* Fires from worker domains; [done_count] is atomic and the
+             user's [on_progress] must be domain-safe (documented). *)
+          Atomic.incr done_count;
+          notify ~running:(min jobs (n - Atomic.get done_count)) ())
+        f tasks results
+    in
     List.iter
       (fun (tf : Domain_backend.task_failure) ->
         record_point_failure
@@ -594,7 +627,9 @@ let map_collect ?backend ?(jobs = 1) ?(max_retries = 2) ?(backoff = 0.05)
       | F_point (i, r) ->
         results.(i) <- Some r;
         child.assigned <- List.filter (fun j -> j <> i) child.assigned;
-        child.salvaged <- i :: child.salvaged
+        child.salvaged <- i :: child.salvaged;
+        Atomic.incr done_count;
+        notify ~running:(List.length !children) ()
       | F_batch items ->
         Array.iter
           (fun (i, r) ->
@@ -604,10 +639,14 @@ let map_collect ?backend ?(jobs = 1) ?(max_retries = 2) ?(backoff = 0.05)
         child.assigned <-
           List.filter
             (fun j -> not (Array.exists (fun (i, _) -> i = j) items))
-            child.assigned
+            child.assigned;
+        for _ = 1 to Array.length items do Atomic.incr done_count done;
+        notify ~running:(List.length !children) ()
       | F_exn (i, exn_text, backtrace) ->
         record_point_failure { point = i; exn_text; backtrace };
-        child.assigned <- List.filter (fun j -> j <> i) child.assigned
+        child.assigned <- List.filter (fun j -> j <> i) child.assigned;
+        Atomic.incr done_count;
+        notify ~running:(List.length !children) ()
       | F_done -> child.got_done <- true
       | exception e -> raise (Corrupt (Printexc.to_string e))
     in

@@ -143,6 +143,15 @@ val map :
   'a list ->
   'b list
 
+(** A live progress snapshot, delivered to [on_progress] after every
+    completed point. *)
+type progress = {
+  prog_done : int;  (** points accounted for (completed or raised) *)
+  prog_total : int;
+  prog_running : int;  (** live workers (approximate under Domain) *)
+  prog_failures : int;  (** worker failures so far (fork backend) *)
+}
+
 (** Everything {!map} learned, without raising. *)
 type 'b outcome = {
   results : 'b option array;
@@ -163,7 +172,14 @@ type 'b outcome = {
     Under the {!Domain} backend [stop] is polled from worker domains
     and must be domain-safe (a monotonic [bool ref] flipped by a signal
     handler is fine); in-flight points finish and are kept, exactly as
-    with forked workers. *)
+    with forked workers.
+
+    [on_progress] fires after every accounted point (completed or
+    raised).  Under {!Seq} and {!Fork} it runs in the calling process;
+    under {!Domain} it fires from worker domains and must be
+    domain-safe (guard shared state with a [Mutex]).  It must not
+    write to stdout in deterministic-output contexts — progress
+    belongs on stderr. *)
 val map_collect :
   ?backend:backend ->
   ?jobs:int ->
@@ -171,6 +187,7 @@ val map_collect :
   ?backoff:float ->
   ?deadline:float ->
   ?on_failure:(worker_failure -> unit) ->
+  ?on_progress:(progress -> unit) ->
   ?stop:(unit -> bool) ->
   ('a -> 'b) ->
   'a list ->

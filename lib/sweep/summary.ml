@@ -15,6 +15,9 @@ type t = {
   q1_max : float;
   q2_max : float;
   effective_pipe : float option;
+  jain : float;
+  fct_p50 : float option;
+  fct_p99 : float option;
   metrics : (string * float) list;
 }
 
@@ -42,9 +45,25 @@ let cc_of_conns conns =
   in
   String.concat "," names
 
+(* Flow-completion times of the point's sized flows, run through the
+   same quantile sketch as [netsim trace stats], in connection order —
+   determinism of the sketch makes the columns byte-identical across
+   sweep backends and job counts. *)
+let fct_quantiles conns =
+  let sk = Obs.Sketch.create () in
+  Array.iter
+    (fun ((spec : Core.Scenario.conn_spec), c) ->
+      match Tcp.Sender.completed_at (Tcp.Connection.sender c) with
+      | Some t -> Obs.Sketch.add sk (t -. spec.start_time)
+      | None -> ())
+    conns;
+  if Obs.Sketch.is_empty sk then (None, None)
+  else (Obs.Sketch.quantile sk 0.5, Obs.Sketch.quantile sk 0.99)
+
 let of_result ~id ?(params = []) (r : Core.Runner.result) =
   let phase, phase_corr = Core.Runner.queue_phase r in
   let epochs = Core.Runner.epochs r in
+  let fct_p50, fct_p99 = fct_quantiles r.conns in
   {
     id;
     params;
@@ -62,6 +81,10 @@ let of_result ~id ?(params = []) (r : Core.Runner.result) =
     q1_max = queue_max r r.q1;
     q2_max = queue_max r r.q2;
     effective_pipe = Core.Runner.effective_pipe r;
+    jain =
+      Analysis.Fairness.jain (Array.map float_of_int r.delivered);
+    fct_p50;
+    fct_p99;
     metrics =
       (match r.obs with
        | Some probe -> Obs.Probe.final_metrics probe
@@ -118,6 +141,7 @@ let to_json s =
      \"phase\":\"%s\",\"phase_corr\":%s,\"epochs\":%d,\
      \"mean_drops_per_epoch\":%s,\"single_loser\":%s,\
      \"q1_max\":%s,\"q2_max\":%s,\"effective_pipe\":%s,\
+     \"jain\":%s,\"fct_p50\":%s,\"fct_p99\":%s,\
      \"metrics\":{%s}}"
     (escape s.id) params (escape s.cc) (float_json s.util_fwd)
     (float_json s.util_bwd)
@@ -127,6 +151,9 @@ let to_json s =
     (opt_float_json s.single_loser)
     (float_json s.q1_max) (float_json s.q2_max)
     (opt_float_json s.effective_pipe)
+    (float_json s.jain)
+    (opt_float_json s.fct_p50)
+    (opt_float_json s.fct_p99)
     metrics
 
 let list_to_json summaries =

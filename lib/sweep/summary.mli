@@ -26,6 +26,12 @@ type t = {
   q2_max : float;
   effective_pipe : float option;
       (** mean ACK queueing delay in data-packet transmission times *)
+  jain : float;
+      (** Jain's fairness index over per-connection delivered packets *)
+  fct_p50 : float option;
+      (** median flow-completion time across the point's sized flows
+          (via {!Obs.Sketch}; [None] when no flow completed) *)
+  fct_p99 : float option;
   metrics : (string * float) list;
       (** final {!Obs.Metrics} snapshot of the point's run, in
           registration order ([[]] when the run carried no registry) *)

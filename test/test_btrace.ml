@@ -14,6 +14,9 @@ let item_to_string = function
     Printf.sprintf "def_link %d %S %h" l.Obs.Btrace.link_id
       l.Obs.Btrace.link_name l.Obs.Btrace.bandwidth
   | Obs.Btrace.Def_conn c -> Printf.sprintf "def_conn %d" c
+  | Obs.Btrace.Def_conn_meta { conn; start_time; flow_size } ->
+    Printf.sprintf "def_conn_meta %d %h %s" conn start_time
+      (match flow_size with None -> "inf" | Some n -> string_of_int n)
   | Obs.Btrace.Event (t, ev) ->
     Printf.sprintf "%h %s" t (Obs.Btrace.jsonl_line ~time:t ev)
 
@@ -69,6 +72,9 @@ let encode_all () =
   Obs.Btrace.declare_link w fwd;
   Obs.Btrace.declare_link w bwd;
   Obs.Btrace.declare_conn w 1;
+  Obs.Btrace.declare_conn_meta w 2 ~start_time:(0.1 +. 0.2)
+    ~flow_size:(Some 100);
+  Obs.Btrace.declare_conn_meta w 3 ~start_time:0. ~flow_size:None;
   List.iter (fun (time, ev) -> Obs.Btrace.event w ~time ev) events;
   Obs.Btrace.flush w;
   let link_of l = Obs.Btrace.plain_link l in
@@ -76,6 +82,9 @@ let encode_all () =
     Obs.Btrace.Def_link (Obs.Btrace.plain_link fwd)
     :: Obs.Btrace.Def_link (Obs.Btrace.plain_link bwd)
     :: Obs.Btrace.Def_conn 1
+    :: Obs.Btrace.Def_conn_meta
+         { conn = 2; start_time = 0.1 +. 0.2; flow_size = Some 100 }
+    :: Obs.Btrace.Def_conn_meta { conn = 3; start_time = 0.; flow_size = None }
     :: List.map
          (fun (t, ev) -> Obs.Btrace.Event (t, Obs.Btrace.plain_ev ~link_of ev))
          events
@@ -182,6 +191,76 @@ let test_export_jsonl_matches_line_renderer () =
     Alcotest.(check bool) "17-digit time preserved" true
       (contains (Buffer.contents buf) "{\"t\":0.30000000000000004,")
 
+(* Version-1 streams (no conn-meta records) stay readable: handcraft a
+   minimal v1 file — header with version byte 1, one conn-def record —
+   and check the reader takes it as-is. *)
+let test_reads_v1_streams () =
+  let data = Obs.Btrace.magic ^ "\x01" ^ "\x02\x01" in
+  match Obs.Btrace.read data with
+  | Error msg -> Alcotest.failf "v1 stream rejected: %s" msg
+  | Ok { Obs.Btrace.file_version; items; torn } ->
+    Alcotest.(check int) "version 1" 1 file_version;
+    Alcotest.(check (option string)) "no torn tail" None torn;
+    Alcotest.(check (list item)) "conn-def decoded" [ Obs.Btrace.Def_conn 1 ]
+      items
+
+let test_validate_clean () =
+  let data, _ = encode_all () in
+  match Obs.Btrace.validate data with
+  | Error msg -> Alcotest.failf "clean trace failed validation: %s" msg
+  | Ok a ->
+    Alcotest.(check int) "version" Obs.Btrace.version a.Obs.Btrace.audit_version;
+    Alcotest.(check int) "events" 11 a.Obs.Btrace.audit_events;
+    Alcotest.(check int) "links" 2 a.Obs.Btrace.audit_links;
+    Alcotest.(check int) "conns" 3 a.Obs.Btrace.audit_conns;
+    Alcotest.(check (option string)) "not torn" None a.Obs.Btrace.audit_torn;
+    Alcotest.(check (list string)) "no errors" [] a.Obs.Btrace.audit_errors
+
+let test_validate_flags_undeclared_conn () =
+  let _net, _fwd, _bwd, _pkt = fixture () in
+  let buf = Buffer.create 256 in
+  let w = Obs.Btrace.writer (Buffer.add_string buf) in
+  Obs.Btrace.declare_conn w 1;
+  Obs.Btrace.event w ~time:1.
+    (Obs.Event.Cwnd { conn = 1; cwnd = 2.; ssthresh = 8. });
+  Obs.Btrace.event w ~time:2.
+    (Obs.Event.Loss { conn = 7; reason = "timeout" });
+  Obs.Btrace.flush w;
+  match Obs.Btrace.validate (Buffer.contents buf) with
+  | Error msg -> Alcotest.failf "trace unreadable: %s" msg
+  | Ok a ->
+    Alcotest.(check int) "one error" 1 (List.length a.Obs.Btrace.audit_errors);
+    Alcotest.(check bool) "names the dangling conn" true
+      (contains (List.hd a.Obs.Btrace.audit_errors) "undeclared conn 7")
+
+let test_validate_flags_backwards_time () =
+  let _net, _fwd, _bwd, _pkt = fixture () in
+  let buf = Buffer.create 256 in
+  let w = Obs.Btrace.writer (Buffer.add_string buf) in
+  Obs.Btrace.declare_conn w 1;
+  Obs.Btrace.event w ~time:5.
+    (Obs.Event.Cwnd { conn = 1; cwnd = 2.; ssthresh = 8. });
+  Obs.Btrace.event w ~time:1.
+    (Obs.Event.Cwnd { conn = 1; cwnd = 3.; ssthresh = 8. });
+  Obs.Btrace.flush w;
+  match Obs.Btrace.validate (Buffer.contents buf) with
+  | Error msg -> Alcotest.failf "trace unreadable: %s" msg
+  | Ok a ->
+    Alcotest.(check int) "one error" 1 (List.length a.Obs.Btrace.audit_errors);
+    Alcotest.(check bool) "names the regression" true
+      (contains (List.hd a.Obs.Btrace.audit_errors) "time goes backwards")
+
+(* A plain truncation (cut between events) is a note, not an error: the
+   prefix is perfectly usable. *)
+let test_validate_tolerates_plain_truncation () =
+  let data, _ = encode_all () in
+  match Obs.Btrace.validate (String.sub data 0 (String.length data - 1)) with
+  | Error msg -> Alcotest.failf "truncated trace failed validation: %s" msg
+  | Ok a ->
+    Alcotest.(check bool) "torn note present" true
+      (a.Obs.Btrace.audit_torn <> None);
+    Alcotest.(check (list string)) "no errors" [] a.Obs.Btrace.audit_errors
+
 let suite =
   ( "btrace",
     [
@@ -195,4 +274,14 @@ let suite =
         test_truncation_keeps_complete_records;
       Alcotest.test_case "jsonl export matches the line renderer" `Quick
         test_export_jsonl_matches_line_renderer;
+      Alcotest.test_case "version-1 streams stay readable" `Quick
+        test_reads_v1_streams;
+      Alcotest.test_case "validate passes a clean trace" `Quick
+        test_validate_clean;
+      Alcotest.test_case "validate flags undeclared conn refs" `Quick
+        test_validate_flags_undeclared_conn;
+      Alcotest.test_case "validate flags backwards time" `Quick
+        test_validate_flags_backwards_time;
+      Alcotest.test_case "validate tolerates plain truncation" `Quick
+        test_validate_tolerates_plain_truncation;
     ] )

@@ -35,6 +35,8 @@ let () =
       Test_robustness.suite;
       Test_obs.suite;
       Test_btrace.suite;
+      Test_sketch.suite;
+      Test_flowstats.suite;
       Test_args.suite;
       Test_experiments.suite;
       (* Last: spawns domains, and the OCaml 5 runtime forbids

@@ -427,7 +427,9 @@ let prop_observation_transparent =
       let sink (_ : string) = () in
       let observed =
         Core.Runner.run
-          ~obs:(Obs.Probe.setup ~series_dt:1.0 ~btrace:sink ~flight:128 ())
+          ~obs:
+            (Obs.Probe.setup ~series_dt:1.0 ~btrace:sink ~flight:128
+               ~flowstats:true ())
           scenario
       in
       let a = result_fingerprint bare and b = result_fingerprint observed in

@@ -247,6 +247,9 @@ let test_json_special_floats () =
       q1_max = 0.;
       q2_max = 0.;
       effective_pipe = None;
+      jain = 0.9;
+      fct_p50 = None;
+      fct_p99 = None;
       metrics = [ ("net.injected", 3.) ];
     }
   in
@@ -262,7 +265,10 @@ let test_json_special_floats () =
     (contains "\"util_bwd\":null");
   Alcotest.(check bool) "quote escaped in id" true (contains "x\\\"y");
   Alcotest.(check bool) "None option is null" true
-    (contains "\"effective_pipe\":null")
+    (contains "\"effective_pipe\":null");
+  Alcotest.(check bool) "jain encoded" true (contains "\"jain\":0.9");
+  Alcotest.(check bool) "fct columns null without completions" true
+    (contains "\"fct_p50\":null,\"fct_p99\":null")
 
 (* ---------------- Grids registry ---------------- *)
 
